@@ -1,0 +1,85 @@
+"""Ablation: crash-recovery scan cost vs. device fill.
+
+Under NoFTL the translation state is host memory; after a crash it is
+rebuilt by scanning page metadata (the native interface's OOB command).
+This benchmark measures the recovery scan's *simulated* cost as the device
+fills — the operational price of removing the FTL, which the companion
+paper (NoFTL for real, EDBT'15) discusses.  Expected shape: scan time
+grows linearly with programmed pages, and OOB reads cost far less than
+full page reads would.
+"""
+
+import random
+
+from conftest import bench_mode, run_once
+
+from repro.bench import render_series, save_report
+from repro.core import NoFTLStore, RegionConfig
+from repro.flash import FlashGeometry
+
+
+def make_store(device=None):
+    geometry = FlashGeometry(
+        channels=4,
+        chips_per_channel=2,
+        dies_per_chip=1,
+        planes_per_die=2,
+        blocks_per_plane=16,
+        pages_per_block=32,
+        page_size=4096,
+        oob_size=64,
+    )
+    store = NoFTLStore.create(geometry) if device is None else NoFTLStore(device)
+    store.create_region(RegionConfig(name="rg"), num_dies=8, dies=list(range(8)))
+    return store
+
+
+def run_point(fill_fraction, seed=12):
+    store = make_store()
+    region = store.region("rg")
+    pages = region.allocate(max(1, int(region.capacity_pages() * fill_fraction)))
+    rng = random.Random(seed)
+    t = 0.0
+    for p in pages:
+        t = region.write(p, b"d" * 512, t)
+    # some overwrites so stale versions exist on flash
+    for __ in range(len(pages) // 2):
+        t = region.write(rng.choice(pages), b"u" * 512, t)
+
+    crashed = make_store(device=store.device)
+    reads_before = store.device.stats.reads
+    scan_start = t
+    end = crashed.recover(at=t)
+    scanned = store.device.stats.reads - reads_before
+    live = crashed.region("rg").used_pages()
+    return [
+        f"{fill_fraction:.0%}",
+        scanned,
+        live,
+        round((end - scan_start) / 1000.0, 1),
+    ]
+
+
+def test_recovery_scan_cost(benchmark):
+    fills = (0.2, 0.4, 0.6, 0.8) if bench_mode() == "full" else (0.25, 0.75)
+
+    def sweep():
+        return [run_point(f) for f in fills]
+
+    rows = run_once(benchmark, sweep)
+
+    scans = [row[1] for row in rows]
+    times = [row[3] for row in rows]
+    # scan cost grows with fill, roughly linearly
+    assert scans[-1] > scans[0] * 1.5
+    assert times[-1] > times[0]
+    # every point recovered all its live pages
+    for row in rows:
+        assert row[2] > 0
+
+    report = render_series(
+        "Crash-recovery scan cost vs device fill (8 dies, OOB metadata scan)",
+        ["fill", "pages scanned", "live pages restored", "scan ms (simulated)"],
+        rows,
+    )
+    save_report("recovery_scan", report)

@@ -1,0 +1,66 @@
+"""Redo logging on regions: durability meets placement.
+
+The write-ahead log is the purest cold append stream a DBMS produces —
+written once, read only at recovery, never updated.  Under NoFTL it is a
+first-class object the DBA can place: this example runs a logged workload,
+"crashes", restores from the initial state, and replays the log; then it
+shows where the log physically landed.
+
+Run:  python examples/write_ahead_log.py
+"""
+
+import random
+
+from repro.core import figure2_placement
+from repro.db import Database, replay_log
+from repro.flash import paper_geometry
+
+
+def build(wal: bool) -> Database:
+    db = Database.on_native_flash(
+        geometry=paper_geometry(blocks_per_plane=4),
+        placement=figure2_placement(64),
+        buffer_pages=256,
+        wal=wal,
+    )
+    db.execute("CREATE TABLE accounts (acct INT, owner CHAR(12), balance INT)")
+    db.create_index("accounts_pk", "accounts", ["acct"], unique=True)
+    return db
+
+
+def main() -> None:
+    rng = random.Random(11)
+    source = build(wal=True)
+    accounts = source.table("accounts")
+    t = 0.0
+    rids = []
+    for acct in range(200):
+        rid, t = accounts.insert((acct, f"owner{acct}", 1000), t)
+        rids.append(rid)
+    for i in range(2000):
+        pick = rng.randrange(len(rids))
+        rids[pick], t = accounts.update_columns(
+            rids[pick], {"balance": 1000 + i}, t
+        )
+    t = source.wal.flush(t)
+    print(f"logged {source.wal.records_written} records "
+          f"({source.wal.flushed_pages} log pages on flash)")
+
+    # --- crash & recover: fresh database, same schema, replay the log ------
+    target = build(wal=False)
+    applied, t = replay_log(target, source.wal, t)
+    print(f"replayed {applied} records into the restored database")
+
+    src_rows = sorted(r for __, r, ___ in source.table("accounts").scan(t))
+    dst_rows = sorted(r for __, r, ___ in target.table("accounts").scan(t))
+    assert src_rows == dst_rows
+    print(f"verified: {len(dst_rows)} rows identical after replay")
+
+    ts = source.catalog.tablespace("ts_WAL")
+    print(f"\nthe log lives in tablespace {ts.name!r} -> region {ts.region!r}")
+    print("a DBA could give it a dedicated region: the log never mixes with")
+    print("update-hot pages, so its blocks are never GC victims.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy setup shim so `pip install -e . --no-build-isolation` works offline."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,50 @@
+"""Experiment harness: end-to-end TPC-C runs and paper-style reporting."""
+
+from repro.bench.experiment import (
+    TPCCExperimentConfig,
+    TPCCExperimentResult,
+    build_database,
+    derive_method_placement,
+    run_tpcc_experiment,
+)
+from repro.bench.reporting import (
+    FIGURE3_ROWS,
+    figure3_table,
+    format_value,
+    render_series,
+    render_single,
+    render_table,
+    save_report,
+)
+from repro.bench.timeline import gc_interference_report, render_timeline
+from repro.bench.synthetic import (
+    HOT_COLD_CLASSES,
+    ObjectClass,
+    SyntheticConfig,
+    SyntheticResult,
+    run_ftl_synthetic,
+    run_noftl_synthetic,
+)
+
+__all__ = [
+    "FIGURE3_ROWS",
+    "HOT_COLD_CLASSES",
+    "ObjectClass",
+    "SyntheticConfig",
+    "SyntheticResult",
+    "TPCCExperimentConfig",
+    "TPCCExperimentResult",
+    "build_database",
+    "derive_method_placement",
+    "figure3_table",
+    "format_value",
+    "gc_interference_report",
+    "render_series",
+    "render_timeline",
+    "render_single",
+    "render_table",
+    "run_ftl_synthetic",
+    "run_noftl_synthetic",
+    "run_tpcc_experiment",
+    "save_report",
+]

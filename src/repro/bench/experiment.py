@@ -1,0 +1,281 @@
+"""End-to-end TPC-C experiment harness (the paper's Section 3 setup).
+
+One :class:`TPCCExperimentConfig` describes a complete run: storage
+architecture (NoFTL placement or FTL block device), device geometry,
+population scale, driver parameters and measurement budget.
+:func:`run_tpcc_experiment` builds the stack, loads the database,
+checkpoints, snapshots every counter, runs the driver and returns the
+Figure 3 measurement set as deltas over the measured window only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.core.placement import PlacementConfig
+from repro.db.database import Database
+from repro.flash.geometry import FlashGeometry, paper_geometry
+from repro.flash.timing import TimingModel
+from repro.tpcc.driver import Driver
+from repro.tpcc.loader import load_database
+from repro.tpcc.schema import ScaleConfig, bench_scale
+
+
+@dataclass(frozen=True)
+class TPCCExperimentConfig:
+    """Everything needed to reproduce one experimental cell.
+
+    Attributes:
+        name: label for reports.
+        placement: region layout (``None`` selects the FTL block device).
+        ftl: when ``placement is None``: ``"page"`` or ``"dftl"``.
+        geometry: flash device shape; defaults to the paper's 64 dies with
+            a capacity scaled to the population (see ``blocks_per_plane``).
+        scale: TPC-C population.
+        terminals: closed-loop concurrency.
+        buffer_pages / flusher_interval / flusher_batch: buffer manager.
+        num_transactions / duration_us: measurement budget (at least one).
+        timing: flash latency model.
+        seed: workload RNG seed.
+        overprovision: FTL-only export fraction.
+    """
+
+    name: str
+    placement: PlacementConfig | None = None
+    ftl: str = "page"
+    geometry: FlashGeometry = field(default_factory=lambda: paper_geometry(blocks_per_plane=9, pages_per_block=32))
+    scale: ScaleConfig = field(default_factory=lambda: bench_scale(2))
+    terminals: int = 8
+    buffer_pages: int = 256
+    flusher_interval: int = 64
+    flusher_batch: int = 8
+    num_transactions: int | None = None
+    duration_us: float | None = None
+    timing: TimingModel = field(default_factory=TimingModel)
+    seed: int = 42
+    overprovision: float = 0.1
+    cpu_us_per_op: float = 5.0
+
+    def with_budget(
+        self, num_transactions: int | None = None, duration_us: float | None = None
+    ) -> "TPCCExperimentConfig":
+        """Copy with a different measurement budget."""
+        return replace(self, num_transactions=num_transactions, duration_us=duration_us)
+
+
+@dataclass
+class TPCCExperimentResult:
+    """Measured window of one experiment (all values are run-only deltas)."""
+
+    config: TPCCExperimentConfig
+    workload: dict[str, float]
+    storage: dict[str, float]
+    device: dict[str, float]
+    per_region: dict[str, dict[str, float]]
+    load_time_us: float
+
+    def row(self, key: str) -> float:
+        """Convenience lookup across the three stat groups."""
+        for group in (self.workload, self.storage, self.device):
+            if key in group:
+                return group[key]
+        raise KeyError(key)
+
+
+def _storage_counters(db: Database) -> dict[str, float]:
+    """Management counters incl. latency totals (delta-able)."""
+    if db.store is not None:
+        totals: dict[str, float] = {}
+        for region in db.store.regions():
+            for key, value in _management_counters(region.stats).items():
+                if isinstance(value, list):
+                    prior = totals.get(key) or [0] * len(value)
+                    totals[key] = [a + b for a, b in zip(prior, value)]
+                else:
+                    totals[key] = totals.get(key, 0.0) + value
+        return totals
+    assert db.ftl is not None
+    return _management_counters(db.ftl.stats)
+
+
+def _management_counters(stats) -> dict[str, float]:
+    return {
+        "host_reads": stats.host_reads,
+        "host_writes": stats.host_writes,
+        "gc_copybacks": stats.gc_copybacks,
+        "gc_reads": stats.gc_reads,
+        "gc_programs": stats.gc_programs,
+        "gc_erases": stats.gc_erases,
+        "gc_victim_valid_pages": stats.gc_victim_valid_pages,
+        "wl_moves": stats.wl_moves,
+        "wl_erases": stats.wl_erases,
+        "trans_reads": stats.trans_reads,
+        "trans_writes": stats.trans_writes,
+        "read_latency_total_us": stats.host_read_latency.total_us,
+        "read_latency_count": stats.host_read_latency.count,
+        "write_latency_total_us": stats.host_write_latency.total_us,
+        "write_latency_count": stats.host_write_latency.count,
+        "read_latency_buckets": list(stats.host_read_latency.buckets),
+        "write_latency_buckets": list(stats.host_write_latency.buckets),
+    }
+
+
+def _device_counters(db: Database) -> dict[str, float]:
+    stats = db.device.stats
+    return {
+        "flash_reads": stats.reads,
+        "flash_programs": stats.programs,
+        "flash_erases": stats.erases,
+        "flash_copybacks": stats.copybacks,
+    }
+
+
+def _delta(after: dict[str, float], before: dict[str, float]) -> dict[str, float]:
+    result: dict[str, float] = {}
+    for key, value in after.items():
+        prior = before.get(key)
+        if isinstance(value, list):
+            prior = prior or [0] * len(value)
+            result[key] = [a - b for a, b in zip(value, prior)]
+        else:
+            result[key] = value - (prior or 0.0)
+    return result
+
+
+def _derive_latencies(storage: dict[str, float]) -> None:
+    """Turn latency total/count/bucket deltas into window means and p99 (µs)."""
+    from repro.flash.stats import percentile_from_buckets
+
+    reads = storage.pop("read_latency_count")
+    read_total = storage.pop("read_latency_total_us")
+    writes = storage.pop("write_latency_count")
+    write_total = storage.pop("write_latency_total_us")
+    read_buckets = storage.pop("read_latency_buckets")
+    write_buckets = storage.pop("write_latency_buckets")
+    storage["read_latency_us"] = read_total / reads if reads else 0.0
+    storage["write_latency_us"] = write_total / writes if writes else 0.0
+    storage["read_latency_p99_us"] = percentile_from_buckets(read_buckets, 0.99)
+    storage["write_latency_p99_us"] = percentile_from_buckets(write_buckets, 0.99)
+
+
+def build_database(config: TPCCExperimentConfig) -> Database:
+    """Construct the database stack for one experiment cell."""
+    common = dict(
+        buffer_pages=config.buffer_pages,
+        flusher_interval=config.flusher_interval,
+        flusher_batch=config.flusher_batch,
+        cpu_us_per_op=config.cpu_us_per_op,
+    )
+    if config.placement is not None:
+        return Database.on_native_flash(
+            geometry=config.geometry,
+            placement=config.placement,
+            timing=config.timing,
+            **common,
+        )
+    return Database.on_block_device(
+        geometry=config.geometry,
+        timing=config.timing,
+        ftl=config.ftl,
+        overprovision=config.overprovision,
+        **common,
+    )
+
+
+def derive_method_placement(
+    config: TPCCExperimentConfig,
+    budget_transactions: int,
+    profile_transactions: int = 2000,
+    name: str = "regions",
+    growth_safety: float = 1.25,
+) -> "PlacementConfig":
+    """Apply the paper's placement method to the configured workload.
+
+    The paper built Figure 2 by grouping TPC-C objects by their I/O
+    properties and distributing the 64 dies "based on sizes of objects and
+    their I/O rate" — for *their* database.  This does the same derivation
+    for the database at hand: load it, run a profiling window under
+    traditional placement, project each object's size to the end of the
+    measured run (append-only objects grow), and allocate the die budget
+    over the paper's six object groups from the measured I/O rates with a
+    capacity repair against the projected sizes.
+    """
+    from repro.core.advisor import ObjectStats, allocate_dies_for_groups
+    from repro.core.placement import FIGURE2_GROUPS, traditional_placement
+
+    profile_config = replace(
+        config,
+        name="profile",
+        placement=traditional_placement(config.geometry.dies),
+        num_transactions=profile_transactions,
+        duration_us=None,
+    )
+    db = build_database(profile_config)
+    t = load_database(db, profile_config.scale, seed=profile_config.seed)
+    sizes_at_load = {s.name: s.size_pages for s in db.object_stats()}
+    driver = Driver(
+        db, profile_config.scale, terminals=profile_config.terminals, seed=profile_config.seed
+    )
+    driver.run(num_transactions=profile_transactions, start_us=t)
+    projected: list[ObjectStats] = []
+    for s in db.object_stats():
+        growth = max(0, s.size_pages - sizes_at_load.get(s.name, 0))
+        projected_size = s.size_pages + int(
+            growth / profile_transactions * budget_transactions * growth_safety
+        )
+        projected.append(
+            ObjectStats(name=s.name, size_pages=projected_size, reads=s.reads, writes=s.writes)
+        )
+    geometry = config.geometry
+    safe_per_die = (geometry.blocks_per_die - 5) * geometry.pages_per_block
+    groups = [(group_name, objects) for group_name, __, objects in FIGURE2_GROUPS]
+    return allocate_dies_for_groups(
+        groups,
+        projected,
+        geometry.dies,
+        safe_pages_per_die=safe_per_die,
+        headroom=1.15,
+        name=name,
+    )
+
+
+def run_tpcc_experiment(config: TPCCExperimentConfig) -> TPCCExperimentResult:
+    """Load, measure, and return the Figure 3 stat set for one config."""
+    if config.num_transactions is None and config.duration_us is None:
+        raise ValueError("experiment needs num_transactions and/or duration_us")
+    db = build_database(config)
+    load_end = load_database(db, config.scale, seed=config.seed)
+
+    storage_before = _storage_counters(db)
+    device_before = _device_counters(db)
+    region_before = (
+        {r.name: _management_counters(r.stats) for r in db.store.regions()}
+        if db.store is not None
+        else {}
+    )
+
+    driver = Driver(db, config.scale, terminals=config.terminals, seed=config.seed)
+    metrics = driver.run(
+        num_transactions=config.num_transactions,
+        duration_us=config.duration_us,
+        start_us=load_end,
+    )
+
+    storage = _delta(_storage_counters(db), storage_before)
+    _derive_latencies(storage)
+    device = _delta(_device_counters(db), device_before)
+    per_region = {}
+    if db.store is not None:
+        for region in db.store.regions():
+            delta = _delta(_management_counters(region.stats), region_before[region.name])
+            _derive_latencies(delta)
+            per_region[region.name] = delta
+        db.store.check_consistency()
+    return TPCCExperimentResult(
+        config=config,
+        workload=metrics.summary(),
+        storage=storage,
+        device=device,
+        per_region=per_region,
+        load_time_us=load_end,
+    )

@@ -1,0 +1,115 @@
+"""Paper-style table rendering for benchmark output.
+
+Formats results the way Figure 3 presents them: one row per metric, one
+column per configuration, plus a ratio column so the "who wins, by how
+much" shape is immediately visible.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.bench.experiment import TPCCExperimentResult
+
+#: (label, result key, higher_is_better) — the exact Figure 3 row set.
+FIGURE3_ROWS: tuple[tuple[str, str, bool], ...] = (
+    ("TPS", "tps", True),
+    ("READ 4KB (us)", "read_latency_us", False),
+    ("READ 4KB p99 (us)", "read_latency_p99_us", False),
+    ("WRITE 4KB (us)", "write_latency_us", False),
+    ("WRITE 4KB p99 (us)", "write_latency_p99_us", False),
+    ("NewOrder TRX (ms)", "NewOrder_ms", False),
+    ("Payment TRX (ms)", "Payment_ms", False),
+    ("StockLevel TRX (ms)", "StockLevel_ms", False),
+    ("Transactions", "transactions", True),
+    ("Host READ I/Os", "host_reads", True),
+    ("Host WRITE I/Os", "host_writes", True),
+    ("GC COPYBACKs", "gc_copybacks", False),
+    ("GC ERASEs", "gc_erases", False),
+)
+
+
+def format_value(value: float) -> str:
+    """Compact numeric formatting (counts as ints, rates to 2 decimals)."""
+    if value == int(value) and abs(value) >= 1:
+        return f"{int(value):,}"
+    return f"{value:,.2f}"
+
+
+def render_table(
+    title: str,
+    rows: list[tuple[str, float, float]],
+    col_a: str,
+    col_b: str,
+) -> str:
+    """Render a two-configuration comparison table with a ratio column."""
+    header = f"{'metric':<24} {col_a:>18} {col_b:>18} {'B/A':>8}"
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for label, a, b in rows:
+        ratio = b / a if a else float("inf") if b else 1.0
+        lines.append(
+            f"{label:<24} {format_value(a):>18} {format_value(b):>18} {ratio:>7.2f}x"
+        )
+    lines.append("=" * len(header))
+    return "\n".join(lines)
+
+
+def figure3_table(
+    traditional: TPCCExperimentResult, regions: TPCCExperimentResult
+) -> str:
+    """Render the full Figure 3 comparison from two experiment results."""
+    rows = [
+        (label, traditional.row(key), regions.row(key)) for label, key, __ in FIGURE3_ROWS
+    ]
+    return render_table(
+        "Figure 3 - traditional vs multi-region data placement (simulated)",
+        rows,
+        traditional.config.name,
+        regions.config.name,
+    )
+
+
+def render_single(title: str, values: dict[str, float]) -> str:
+    """Render one configuration's stats as a key/value block."""
+    width = max(len(k) for k in values) if values else 0
+    lines = [title, "-" * max(len(title), width + 20)]
+    for key in values:
+        lines.append(f"{key:<{width}}  {format_value(values[key])}")
+    return "\n".join(lines)
+
+
+def render_series(title: str, header: list[str], rows: list[list[object]]) -> str:
+    """Render a parameter-sweep table (one row per sweep point)."""
+    widths = [
+        max(len(str(header[i])), max((len(format_cell(r[i])) for r in rows), default=0))
+        for i in range(len(header))
+    ]
+    lines = [title, "=" * (sum(widths) + 2 * len(widths))]
+    lines.append("  ".join(str(h).ljust(widths[i]) for i, h in enumerate(header)))
+    lines.append("-" * (sum(widths) + 2 * len(widths)))
+    for row in rows:
+        lines.append("  ".join(format_cell(c).ljust(widths[i]) for i, c in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_cell(value: object) -> str:
+    """Format one sweep-table cell."""
+    if isinstance(value, float):
+        return format_value(value)
+    return str(value)
+
+
+def save_report(name: str, text: str, directory: str | None = None) -> str:
+    """Persist a rendered report under ``benchmarks/results/`` (or $REPRO_RESULTS_DIR).
+
+    Also echoes the report to stdout so ``pytest -s`` shows it inline.
+    Returns the path written.
+    """
+    directory = directory or os.environ.get("REPRO_RESULTS_DIR", "benchmarks/results")
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"{name}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    print()
+    print(text)
+    return path

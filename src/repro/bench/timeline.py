@@ -1,0 +1,120 @@
+"""ASCII timelines from flash command traces.
+
+Turns a :class:`~repro.flash.trace.FlashTracer` capture into a per-die
+Gantt chart — the fastest way to *see* GC interference, placement
+imbalance, or striping patterns:
+
+::
+
+    die  0 |RRRW...CCCCCCE..R|
+    die  1 |.RW..R...RRR.....|
+
+One column is a fixed slice of virtual time; the glyph is the op that
+occupied most of it (R read, W program, C copyback, E erase, m metadata,
+'.' idle).
+"""
+
+from __future__ import annotations
+
+from repro.flash.trace import FlashTracer, TraceEvent
+
+#: glyph per op, by share of the time slice it occupies
+_GLYPHS = {
+    "read_page": "R",
+    "program_page": "W",
+    "copyback": "C",
+    "erase_block": "E",
+    "read_metadata": "m",
+}
+
+
+def render_timeline(
+    events: list[TraceEvent],
+    start_us: float | None = None,
+    end_us: float | None = None,
+    width: int = 80,
+    dies: list[int] | None = None,
+) -> str:
+    """Render per-die occupancy of ``[start_us, end_us]`` as ASCII rows.
+
+    Args:
+        events: trace events (e.g. ``tracer.events``).
+        start_us / end_us: window; defaults to the events' extent.
+        width: characters per row (one per time slice).
+        dies: which dies to show; defaults to every die present.
+    """
+    if not events:
+        return "(no events)"
+    if width < 2:
+        raise ValueError("width must be >= 2")
+    lo = min(e.start_us for e in events) if start_us is None else start_us
+    hi = max(e.end_us for e in events) if end_us is None else end_us
+    if hi <= lo:
+        raise ValueError("empty time window")
+    slice_us = (hi - lo) / width
+    die_list = sorted({e.die for e in events}) if dies is None else dies
+
+    # per die, per slice: accumulate occupancy per op
+    rows: dict[int, list[dict[str, float]]] = {
+        d: [dict() for _ in range(width)] for d in die_list
+    }
+    for event in events:
+        if event.die not in rows or event.end_us <= lo or event.start_us >= hi:
+            continue
+        first = max(0, int((event.start_us - lo) / slice_us))
+        last = min(width - 1, int((event.end_us - lo) / slice_us))
+        for column in range(first, last + 1):
+            cell_lo = lo + column * slice_us
+            cell_hi = cell_lo + slice_us
+            overlap = min(event.end_us, cell_hi) - max(event.start_us, cell_lo)
+            if overlap > 0:
+                cell = rows[event.die][column]
+                cell[event.op] = cell.get(event.op, 0.0) + overlap
+
+    lines = [
+        f"timeline {lo:,.0f}us .. {hi:,.0f}us  ({slice_us:,.0f}us per column)"
+    ]
+    for die in die_list:
+        chars = []
+        for cell in rows[die]:
+            if not cell:
+                chars.append(".")
+            else:
+                op = max(cell, key=cell.get)
+                chars.append(_GLYPHS.get(op, "?"))
+        lines.append(f"die {die:>3} |{''.join(chars)}|")
+    legend = "  ".join(f"{glyph}={op}" for op, glyph in _GLYPHS.items())
+    lines.append(f"legend: {legend}  .=idle")
+    return "\n".join(lines)
+
+
+def gc_interference_report(tracer: FlashTracer, top: int = 5) -> str:
+    """Summarise where foreground I/O queued behind background work.
+
+    Lists the ``top`` worst queueing delays with what occupied the die in
+    the preceding window — the question every GC latency investigation
+    starts with.
+    """
+    slow = tracer.slowest(top)
+    if not slow:
+        return "(no events)"
+    lines = ["worst queueing delays:"]
+    for event in slow:
+        window = [
+            e
+            for e in tracer.on_die(event.die)
+            if e.end_us > event.issue_us and e.start_us < event.start_us and e is not event
+        ]
+        blockers: dict[str, float] = {}
+        for b in window:
+            overlap = min(b.end_us, event.start_us) - max(b.start_us, event.issue_us)
+            if overlap > 0:
+                blockers[b.op] = blockers.get(b.op, 0.0) + overlap
+        blocked_by = (
+            ", ".join(f"{op} {us:,.0f}us" for op, us in sorted(blockers.items(), key=lambda kv: -kv[1]))
+            or "nothing traced"
+        )
+        lines.append(
+            f"  {event.op} d{event.die} waited {event.queue_us:,.0f}us behind: {blocked_by}"
+        )
+    return "\n".join(lines)

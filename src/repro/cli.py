@@ -1,0 +1,205 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — package, geometry and timing defaults.
+* ``fig2`` — print the paper's Figure 2 placement configuration.
+* ``fig3`` — run the Figure 3 comparison (traditional vs regions).
+* ``hotcold`` — the hot/cold separation ablation.
+* ``ftl`` — the FTL-vs-NoFTL motivation experiment.
+* ``recover`` — demonstrate crash recovery from page metadata.
+
+Every command prints a paper-style table and exits 0 on success; ``fig3``
+accepts ``--transactions`` and ``--warehouses`` for custom sizes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.flash import DEFAULT_TIMING, paper_geometry
+
+    geometry = paper_geometry()
+    print(f"repro {repro.__version__} - NoFTL regions reproduction (EDBT 2016)")
+    print(f"default device : {geometry.dies} dies, {geometry.channels} channels, "
+          f"{geometry.page_size} B pages, {geometry.pages_per_block} pages/block")
+    print(f"default timing : read {DEFAULT_TIMING.read_us:.0f} us, "
+          f"program {DEFAULT_TIMING.program_us:.0f} us, "
+          f"erase {DEFAULT_TIMING.erase_us:.0f} us, "
+          f"bus {DEFAULT_TIMING.bus_us_per_page:.0f} us/page")
+    print("docs           : README.md, DESIGN.md, EXPERIMENTS.md")
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.bench import render_series
+    from repro.core import figure2_placement
+
+    placement = figure2_placement(total_dies=args.dies)
+    rows = [
+        [i, spec.config.name, spec.num_dies, "; ".join(spec.objects)]
+        for i, spec in enumerate(placement.specs)
+    ]
+    print(render_series(
+        f"Figure 2 - multi-region placement over {args.dies} dies",
+        ["#", "region", "dies", "DB objects"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_fig3(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        TPCCExperimentConfig,
+        derive_method_placement,
+        figure3_table,
+        run_tpcc_experiment,
+    )
+    from repro.core import traditional_placement
+    from repro.flash import paper_geometry
+    from repro.tpcc import ScaleConfig
+
+    scale = ScaleConfig(
+        warehouses=args.warehouses,
+        districts=10,
+        customers_per_district=args.customers,
+        items=args.items,
+        initial_orders_per_district=40,
+    )
+    config = TPCCExperimentConfig(
+        name="base",
+        geometry=paper_geometry(blocks_per_plane=5, pages_per_block=32),
+        scale=scale,
+        num_transactions=args.transactions,
+        terminals=8,
+        buffer_pages=768,
+        flusher_interval=256,
+    )
+    print("deriving region placement (paper's method) ...", flush=True)
+    placement = derive_method_placement(config, args.transactions)
+    print("running traditional placement ...", flush=True)
+    traditional = run_tpcc_experiment(
+        replace(config, name="traditional", placement=traditional_placement(64))
+    )
+    print("running multi-region placement ...", flush=True)
+    regions = run_tpcc_experiment(replace(config, name="regions", placement=placement))
+    print()
+    print(figure3_table(traditional, regions))
+    return 0
+
+
+def _cmd_hotcold(args: argparse.Namespace) -> int:
+    from repro.bench import SyntheticConfig, render_series, run_noftl_synthetic
+
+    config = SyntheticConfig(writes=args.writes)
+    mixed = run_noftl_synthetic(config, separated=False)
+    separated = run_noftl_synthetic(config, separated=True)
+    print(render_series(
+        "Hot/cold separation (synthetic, 8 dies, 70% utilization)",
+        ["placement", "GC copybacks", "GC erases", "WA", "writes/s"],
+        [mixed.row(), separated.row()],
+    ))
+    return 0
+
+
+def _cmd_ftl(args: argparse.Namespace) -> int:
+    from repro.bench import (
+        SyntheticConfig,
+        render_series,
+        run_ftl_synthetic,
+        run_noftl_synthetic,
+    )
+
+    config = SyntheticConfig(writes=args.writes, utilization=0.65)
+    results = [
+        run_ftl_synthetic(config, ftl="page"),
+        run_ftl_synthetic(config, ftl="dftl", cmt_entries=256),
+        run_ftl_synthetic(config, ftl="hotcold"),
+        run_noftl_synthetic(config, separated=False),
+        run_noftl_synthetic(config, separated=True),
+    ]
+    rows = [r.row() for r in results]
+    rows[3][0] = "noftl-mixed"
+    rows[4][0] = "noftl-regions"
+    print(render_series(
+        "FTL vs NoFTL (synthetic skewed writes)",
+        ["stack", "GC copybacks", "GC erases", "WA", "writes/s"],
+        rows,
+    ))
+    return 0
+
+
+def _cmd_recover(args: argparse.Namespace) -> int:
+    import random
+
+    from repro.core import NoFTLStore, RegionConfig
+    from repro.flash import paper_geometry
+
+    store = NoFTLStore.create(paper_geometry(blocks_per_plane=4))
+    region = store.create_region(RegionConfig(name="rg"), num_dies=8)
+    pages = region.allocate(300)
+    rng = random.Random(1)
+    t = 0.0
+    for __ in range(args.writes):
+        t = region.write(rng.choice(pages), b"payload", t)
+    fresh = NoFTLStore(store.device)
+    fresh.create_region(RegionConfig(name="rg"), num_dies=8, dies=region.dies)
+    end = fresh.recover(at=t)
+    recovered = fresh.region("rg")
+    print(f"wrote {args.writes} pages ({region.used_pages()} live), crashed, recovered")
+    print(f"recovery scan: {(end - t) / 1000:.1f} ms simulated, "
+          f"{recovered.used_pages()} live pages restored")
+    fresh.check_consistency()
+    print("mapping invariants verified.")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="NoFTL regions reproduction (EDBT 2016) - experiment runner",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="package and simulator defaults").set_defaults(fn=_cmd_info)
+
+    fig2 = sub.add_parser("fig2", help="print the Figure 2 placement")
+    fig2.add_argument("--dies", type=int, default=64)
+    fig2.set_defaults(fn=_cmd_fig2)
+
+    fig3 = sub.add_parser("fig3", help="run the Figure 3 comparison")
+    fig3.add_argument("--transactions", type=int, default=3000)
+    fig3.add_argument("--warehouses", type=int, default=2)
+    fig3.add_argument("--customers", type=int, default=150)
+    fig3.add_argument("--items", type=int, default=3000)
+    fig3.set_defaults(fn=_cmd_fig3)
+
+    hotcold = sub.add_parser("hotcold", help="hot/cold separation ablation")
+    hotcold.add_argument("--writes", type=int, default=15_000)
+    hotcold.set_defaults(fn=_cmd_hotcold)
+
+    ftl = sub.add_parser("ftl", help="FTL vs NoFTL motivation experiment")
+    ftl.add_argument("--writes", type=int, default=10_000)
+    ftl.set_defaults(fn=_cmd_ftl)
+
+    recover = sub.add_parser("recover", help="crash recovery demonstration")
+    recover.add_argument("--writes", type=int, default=5_000)
+    recover.set_defaults(fn=_cmd_recover)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,255 @@
+"""Buffer manager: CLOCK replacement, dirty write-back, background flusher.
+
+The buffer pool caches *decoded page objects* (slotted pages, B+-tree
+nodes) keyed by ``(space_id, page_no)``.  Serialisation happens only at
+real I/O boundaries — a miss decodes the flash image, an eviction or flush
+encodes it back — so buffer hits are as cheap as they are on a real engine.
+
+Flushers (Figure 1 shows them as a first-class component) are modelled as
+a budgeted background write-back: every ``flusher_interval`` page
+operations, up to ``flusher_batch`` dirty unpinned pages are written out.
+Those writes reserve device time (they contend with foreground I/O on the
+die/channel timelines) but do not advance the caller's clock — they are
+asynchronous, exactly like a checkpointer racing user transactions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.db.backend import StorageBackend
+
+
+class BufferError(Exception):
+    """Invalid buffer operation (bad unpin, pool of pinned pages, ...)."""
+
+
+@dataclass
+class _Frame:
+    """One buffer frame."""
+
+    key: tuple[int, int]
+    page: object
+    encoder: Callable[[object], bytes]
+    dirty: bool = False
+    pin_count: int = 0
+    referenced: bool = True
+
+
+@dataclass
+class BufferStats:
+    """Hit/miss/write-back counters."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    dirty_evictions: int = 0
+    flusher_writes: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of page requests served from the pool."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BufferPool:
+    """A page cache between the DBMS and a storage backend.
+
+    Args:
+        backend: where misses read from and write-back goes to.
+        capacity: number of page frames.
+        flusher_interval: page operations between background flush rounds
+            (0 disables the flusher).
+        flusher_batch: max dirty pages written per flush round.
+        cpu_us_per_op: CPU time charged per page access (hit or miss).
+            Real engines spend microseconds of latching/search/codec work
+            per page touch; charging it keeps virtual time moving even for
+            cache-hot transactions, so I/O arrivals are realistically
+            spaced instead of bursting at one instant.
+    """
+
+    def __init__(
+        self,
+        backend: StorageBackend,
+        capacity: int = 256,
+        flusher_interval: int = 64,
+        flusher_batch: int = 8,
+        cpu_us_per_op: float = 5.0,
+    ) -> None:
+        if capacity < 4:
+            raise ValueError("buffer pool needs at least 4 frames")
+        if cpu_us_per_op < 0:
+            raise ValueError("cpu_us_per_op must be >= 0")
+        self.backend = backend
+        self.capacity = capacity
+        self.flusher_interval = flusher_interval
+        self.flusher_batch = flusher_batch
+        self.cpu_us_per_op = cpu_us_per_op
+        self.stats = BufferStats()
+        self._frames: dict[tuple[int, int], _Frame] = {}
+        self._clock_keys: list[tuple[int, int]] = []
+        self._clock_hand = 0
+        self._ops_since_flush = 0
+
+    # ------------------------------------------------------------------
+    # Core interface
+    # ------------------------------------------------------------------
+    def get(
+        self,
+        space_id: int,
+        page_no: int,
+        at: float,
+        decoder: Callable[[bytes], object],
+        encoder: Callable[[object], bytes],
+        pin: bool = False,
+    ) -> tuple[object, float]:
+        """Fetch a page object, reading from the backend on a miss.
+
+        Returns ``(page_object, completion_us)``.  With ``pin=True`` the
+        frame cannot be evicted until :meth:`unpin`.
+        """
+        at = self._tick_flusher(at) + self.cpu_us_per_op
+        key = (space_id, page_no)
+        frame = self._frames.get(key)
+        if frame is not None:
+            self.stats.hits += 1
+            frame.referenced = True
+        else:
+            self.stats.misses += 1
+            at = self._make_room(at)
+            data, at = self.backend.read_page(space_id, page_no, at)
+            frame = _Frame(key=key, page=decoder(data), encoder=encoder)
+            self._install(frame)
+        if pin:
+            frame.pin_count += 1
+        return frame.page, at
+
+    def put_new(
+        self,
+        space_id: int,
+        page_no: int,
+        page: object,
+        encoder: Callable[[object], bytes],
+        at: float,
+        pin: bool = False,
+    ) -> float:
+        """Install a freshly allocated page (dirty, no read needed)."""
+        at = self._tick_flusher(at) + self.cpu_us_per_op
+        key = (space_id, page_no)
+        if key in self._frames:
+            raise BufferError(f"page {key} already buffered")
+        at = self._make_room(at)
+        frame = _Frame(key=key, page=page, encoder=encoder, dirty=True)
+        self._install(frame)
+        if pin:
+            frame.pin_count += 1
+        return at
+
+    def mark_dirty(self, space_id: int, page_no: int) -> None:
+        """Mark a buffered page as modified."""
+        frame = self._frames.get((space_id, page_no))
+        if frame is None:
+            raise BufferError(f"page ({space_id}, {page_no}) is not buffered")
+        frame.dirty = True
+
+    def unpin(self, space_id: int, page_no: int) -> None:
+        """Release one pin on a page."""
+        frame = self._frames.get((space_id, page_no))
+        if frame is None or frame.pin_count == 0:
+            raise BufferError(f"page ({space_id}, {page_no}) is not pinned")
+        frame.pin_count -= 1
+
+    def drop(self, space_id: int, page_no: int) -> None:
+        """Discard a buffered page without write-back (page was freed)."""
+        frame = self._frames.pop((space_id, page_no), None)
+        if frame is not None:
+            self._clock_keys.remove(frame.key)
+            if self._clock_hand >= len(self._clock_keys):
+                self._clock_hand = 0
+
+    def flush_page(self, space_id: int, page_no: int, at: float) -> float:
+        """Write one dirty page out (no-op if clean or absent)."""
+        frame = self._frames.get((space_id, page_no))
+        if frame is None or not frame.dirty:
+            return at
+        at = self.backend.write_page(space_id, page_no, frame.encoder(frame.page), at)
+        frame.dirty = False
+        return at
+
+    def flush_all(self, at: float) -> float:
+        """Checkpoint: write out every dirty page (deterministic order)."""
+        for key in sorted(self._frames):
+            at = self.flush_page(key[0], key[1], at)
+        return at
+
+    def buffered_pages(self) -> int:
+        """Number of pages currently in the pool."""
+        return len(self._frames)
+
+    def is_buffered(self, space_id: int, page_no: int) -> bool:
+        """Whether a page is currently cached."""
+        return (space_id, page_no) in self._frames
+
+    # ------------------------------------------------------------------
+    # Replacement & flusher
+    # ------------------------------------------------------------------
+    def _install(self, frame: _Frame) -> None:
+        self._frames[frame.key] = frame
+        self._clock_keys.append(frame.key)
+
+    def _make_room(self, at: float) -> float:
+        if len(self._frames) < self.capacity:
+            return at
+        victim = self._pick_victim()
+        if victim.dirty:
+            at = self.backend.write_page(
+                victim.key[0], victim.key[1], victim.encoder(victim.page), at
+            )
+            self.stats.dirty_evictions += 1
+        self.stats.evictions += 1
+        del self._frames[victim.key]
+        self._clock_keys.remove(victim.key)
+        if self._clock_hand >= len(self._clock_keys):
+            self._clock_hand = 0
+        return at
+
+    def _pick_victim(self) -> _Frame:
+        """CLOCK sweep: skip pinned frames, clear reference bits."""
+        sweeps = 0
+        limit = 2 * len(self._clock_keys) + 1
+        while sweeps < limit:
+            key = self._clock_keys[self._clock_hand]
+            self._clock_hand = (self._clock_hand + 1) % len(self._clock_keys)
+            frame = self._frames[key]
+            sweeps += 1
+            if frame.pin_count > 0:
+                continue
+            if frame.referenced:
+                frame.referenced = False
+                continue
+            return frame
+        raise BufferError("every buffer frame is pinned; cannot evict")
+
+    def _tick_flusher(self, at: float) -> float:
+        if self.flusher_interval <= 0:
+            return at
+        self._ops_since_flush += 1
+        if self._ops_since_flush < self.flusher_interval:
+            return at
+        self._ops_since_flush = 0
+        written = 0
+        # sweep in clock order so the flusher cleans what eviction would
+        # otherwise stall on
+        for key in list(self._clock_keys):
+            if written >= self.flusher_batch:
+                break
+            frame = self._frames[key]
+            if frame.dirty and frame.pin_count == 0:
+                # asynchronous: reserves device time, caller's clock unmoved
+                self.backend.write_page(key[0], key[1], frame.encoder(frame.page), at)
+                frame.dirty = False
+                self.stats.flusher_writes += 1
+                written += 1
+        return at

@@ -1,0 +1,137 @@
+"""The catalog: tables, indexes, tablespaces and their couplings.
+
+The catalog records the logical-to-physical chain of the paper's Section 2:
+``table -> tablespace -> region`` (or ``-> LBA range`` on the block-device
+backend).  It holds the live heap/B-tree objects, answers name lookups and
+produces the per-object statistics the placement advisor consumes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.db.btree import BTree
+from repro.db.heap import HeapFile
+from repro.db.records import Schema
+
+
+class CatalogError(Exception):
+    """Unknown or duplicate catalog object."""
+
+
+@dataclass
+class TablespaceInfo:
+    """One tablespace: backend space id plus its (optional) region coupling."""
+
+    name: str
+    space_id: int
+    region: str | None
+    extent_pages: int
+
+
+@dataclass
+class IndexInfo:
+    """One secondary index."""
+
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool
+    tablespace: str
+    btree: BTree
+
+
+@dataclass
+class TableInfo:
+    """One table: schema, heap storage and its indexes."""
+
+    name: str
+    schema: Schema
+    tablespace: str
+    heap: HeapFile
+    indexes: list[IndexInfo] = field(default_factory=list)
+
+
+class Catalog:
+    """Name-addressed registry of all database objects."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, TableInfo] = {}
+        self._indexes: dict[str, IndexInfo] = {}
+        self._tablespaces: dict[str, TablespaceInfo] = {}
+
+    # -- tablespaces -----------------------------------------------------
+    def add_tablespace(self, info: TablespaceInfo) -> None:
+        """Register a tablespace."""
+        if info.name in self._tablespaces:
+            raise CatalogError(f"tablespace {info.name!r} already exists")
+        self._tablespaces[info.name] = info
+
+    def tablespace(self, name: str) -> TablespaceInfo:
+        """Look up a tablespace."""
+        try:
+            return self._tablespaces[name]
+        except KeyError:
+            raise CatalogError(f"no tablespace named {name!r}") from None
+
+    def has_tablespace(self, name: str) -> bool:
+        """Whether a tablespace exists."""
+        return name in self._tablespaces
+
+    def tablespaces(self) -> list[TablespaceInfo]:
+        """All tablespaces, sorted by name."""
+        return [self._tablespaces[n] for n in sorted(self._tablespaces)]
+
+    # -- tables ------------------------------------------------------------
+    def add_table(self, info: TableInfo) -> None:
+        """Register a table."""
+        if info.name in self._tables:
+            raise CatalogError(f"table {info.name!r} already exists")
+        self._tables[info.name] = info
+
+    def table(self, name: str) -> TableInfo:
+        """Look up a table."""
+        try:
+            return self._tables[name]
+        except KeyError:
+            raise CatalogError(f"no table named {name!r}") from None
+
+    def has_table(self, name: str) -> bool:
+        """Whether a table exists."""
+        return name in self._tables
+
+    def drop_table(self, name: str) -> TableInfo:
+        """Remove a table (and its index registrations) from the catalog."""
+        info = self.table(name)
+        for index in info.indexes:
+            self._indexes.pop(index.name, None)
+        del self._tables[name]
+        return info
+
+    def tables(self) -> list[TableInfo]:
+        """All tables, sorted by name."""
+        return [self._tables[n] for n in sorted(self._tables)]
+
+    # -- indexes -------------------------------------------------------------
+    def add_index(self, info: IndexInfo) -> None:
+        """Register an index and attach it to its table."""
+        if info.name in self._indexes:
+            raise CatalogError(f"index {info.name!r} already exists")
+        table = self.table(info.table)
+        self._indexes[info.name] = info
+        table.indexes.append(info)
+
+    def index(self, name: str) -> IndexInfo:
+        """Look up an index."""
+        try:
+            return self._indexes[name]
+        except KeyError:
+            raise CatalogError(f"no index named {name!r}") from None
+
+    def has_index(self, name: str) -> bool:
+        """Whether an index exists."""
+        return name in self._indexes
+
+    def indexes(self) -> list[IndexInfo]:
+        """All indexes, sorted by name."""
+        return [self._indexes[n] for n in sorted(self._indexes)]

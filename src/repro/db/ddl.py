@@ -1,0 +1,221 @@
+"""DDL parser for the DBMS layer.
+
+Implements exactly the statement shapes of the paper's Section 2 example
+(plus indexes and drops), so the quickstart can be written verbatim::
+
+    CREATE REGION rgHotTbl (MAX_CHIPS=8, MAX_CHANNELS=4, MAX_SIZE=1280M);
+    CREATE TABLESPACE tsHotTbl (REGION=rgHotTbl, EXTENT SIZE 128K);
+    CREATE TABLE T (t_id NUMBER(3)) TABLESPACE tsHotTbl;
+    CREATE UNIQUE INDEX t_idx ON T (t_id) TABLESPACE tsHotTbl;
+    DROP TABLE T;
+
+Region statements are delegated to :mod:`repro.core.ddl` so there is a
+single grammar for them.  Column types: ``INT``/``INTEGER``/``NUMBER(p)``
+map to INT, ``NUMBER(p,s)``/``FLOAT``/``DECIMAL`` to FLOAT, ``CHAR(n)``
+and ``VARCHAR(n)``/``VARCHAR2(n)`` to the text types.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.core.ddl import parse_size
+from repro.db.records import Column, ColumnType, Schema, SchemaError
+
+
+class DDLError(Exception):
+    """Unparseable or invalid DDL statement."""
+
+
+@dataclass(frozen=True)
+class CreateTablespace:
+    """Parsed ``CREATE TABLESPACE``."""
+
+    name: str
+    region: str | None
+    extent_size_bytes: int | None
+
+
+@dataclass(frozen=True)
+class CreateTable:
+    """Parsed ``CREATE TABLE``."""
+
+    name: str
+    schema: Schema
+    tablespace: str | None
+
+
+@dataclass(frozen=True)
+class CreateIndex:
+    """Parsed ``CREATE [UNIQUE] INDEX``."""
+
+    name: str
+    table: str
+    columns: tuple[str, ...]
+    unique: bool
+    tablespace: str | None
+
+
+@dataclass(frozen=True)
+class DropTable:
+    """Parsed ``DROP TABLE``."""
+
+    name: str
+
+
+_TABLESPACE_RE = re.compile(
+    r"^\s*CREATE\s+TABLESPACE\s+(?P<name>\w+)\s*\(\s*(?P<params>.*?)\s*\)\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_TABLE_RE = re.compile(
+    r"^\s*CREATE\s+TABLE\s+(?P<name>\w+)\s*\(\s*(?P<cols>.*)\s*\)"
+    r"(?:\s+TABLESPACE\s+(?P<ts>\w+))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_INDEX_RE = re.compile(
+    r"^\s*CREATE\s+(?P<unique>UNIQUE\s+)?INDEX\s+(?P<name>\w+)\s+ON\s+(?P<table>\w+)"
+    r"\s*\(\s*(?P<cols>[\w\s,]+?)\s*\)(?:\s+TABLESPACE\s+(?P<ts>\w+))?\s*;?\s*$",
+    re.IGNORECASE,
+)
+_DROP_TABLE_RE = re.compile(r"^\s*DROP\s+TABLE\s+(?P<name>\w+)\s*;?\s*$", re.IGNORECASE)
+
+_COLUMN_RE = re.compile(
+    r"^(?P<name>\w+)\s+(?P<type>\w+)\s*(?:\(\s*(?P<p>\d+)\s*(?:,\s*(?P<s>\d+)\s*)?\))?$",
+    re.IGNORECASE,
+)
+
+
+def _split_top_level(text: str) -> list[str]:
+    """Split a column list on commas outside parentheses."""
+    parts: list[str] = []
+    depth = 0
+    current: list[str] = []
+    for ch in text:
+        if ch == "(":
+            depth += 1
+        elif ch == ")":
+            depth -= 1
+            if depth < 0:
+                raise DDLError(f"unbalanced parentheses in {text!r}")
+        if ch == "," and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def parse_column(text: str) -> Column:
+    """Parse one column definition like ``c_name CHAR(16)``."""
+    match = _COLUMN_RE.match(text.strip())
+    if not match:
+        raise DDLError(f"cannot parse column definition {text!r}")
+    name = match.group("name")
+    type_name = match.group("type").upper()
+    precision = int(match.group("p")) if match.group("p") else None
+    scale = int(match.group("s")) if match.group("s") else None
+    if type_name in ("INT", "INTEGER", "BIGINT", "SMALLINT"):
+        return Column(name, ColumnType.INT)
+    if type_name == "NUMBER":
+        if scale:
+            return Column(name, ColumnType.FLOAT)
+        return Column(name, ColumnType.INT)
+    if type_name in ("FLOAT", "DOUBLE", "REAL", "DECIMAL", "NUMERIC"):
+        return Column(name, ColumnType.FLOAT)
+    if type_name == "CHAR":
+        if precision is None:
+            raise DDLError(f"CHAR column {name!r} needs a length")
+        return Column(name, ColumnType.CHAR, precision)
+    if type_name in ("VARCHAR", "VARCHAR2", "TEXT"):
+        if precision is None:
+            raise DDLError(f"VARCHAR column {name!r} needs a length")
+        return Column(name, ColumnType.VARCHAR, precision)
+    raise DDLError(f"unsupported column type {type_name!r} for column {name!r}")
+
+
+def parse_create_tablespace(sql: str) -> CreateTablespace:
+    """Parse ``CREATE TABLESPACE name (REGION=rg, EXTENT SIZE 128K)``."""
+    match = _TABLESPACE_RE.match(sql)
+    if not match:
+        raise DDLError(f"not a CREATE TABLESPACE statement: {sql!r}")
+    region: str | None = None
+    extent: int | None = None
+    for part in match.group("params").split(","):
+        part = part.strip()
+        if not part:
+            continue
+        upper = part.upper()
+        if upper.startswith("REGION"):
+            if "=" not in part:
+                raise DDLError(f"malformed REGION parameter {part!r}")
+            region = part.split("=", 1)[1].strip()
+        elif upper.startswith("EXTENT"):
+            tail = re.sub(r"^EXTENT\s+SIZE\s*=?\s*", "", part, flags=re.IGNORECASE)
+            extent = parse_size(tail)
+        else:
+            raise DDLError(f"unknown tablespace parameter {part!r}")
+    return CreateTablespace(name=match.group("name"), region=region, extent_size_bytes=extent)
+
+
+def parse_create_table(sql: str) -> CreateTable:
+    """Parse ``CREATE TABLE name (col TYPE, ...) [TABLESPACE ts]``."""
+    match = _TABLE_RE.match(sql)
+    if not match:
+        raise DDLError(f"not a CREATE TABLE statement: {sql!r}")
+    columns = [parse_column(c) for c in _split_top_level(match.group("cols"))]
+    try:
+        schema = Schema(columns)
+    except SchemaError as exc:
+        raise DDLError(str(exc)) from exc
+    return CreateTable(name=match.group("name"), schema=schema, tablespace=match.group("ts"))
+
+
+def parse_create_index(sql: str) -> CreateIndex:
+    """Parse ``CREATE [UNIQUE] INDEX name ON table (cols) [TABLESPACE ts]``."""
+    match = _INDEX_RE.match(sql)
+    if not match:
+        raise DDLError(f"not a CREATE INDEX statement: {sql!r}")
+    columns = tuple(c.strip() for c in match.group("cols").split(",") if c.strip())
+    if not columns:
+        raise DDLError("index needs at least one column")
+    return CreateIndex(
+        name=match.group("name"),
+        table=match.group("table"),
+        columns=columns,
+        unique=bool(match.group("unique")),
+        tablespace=match.group("ts"),
+    )
+
+
+def parse_drop_table(sql: str) -> DropTable:
+    """Parse ``DROP TABLE name``."""
+    match = _DROP_TABLE_RE.match(sql)
+    if not match:
+        raise DDLError(f"not a DROP TABLE statement: {sql!r}")
+    return DropTable(name=match.group("name"))
+
+
+def statement_kind(sql: str) -> str:
+    """Classify a DDL statement for dispatch.
+
+    Returns one of ``region``, ``tablespace``, ``table``, ``index``,
+    ``drop_table``, ``drop_region``.
+    """
+    upper = " ".join(sql.split()).upper()
+    if upper.startswith("CREATE REGION"):
+        return "region"
+    if upper.startswith("DROP REGION"):
+        return "drop_region"
+    if upper.startswith("CREATE TABLESPACE"):
+        return "tablespace"
+    if upper.startswith("CREATE TABLE"):
+        return "table"
+    if upper.startswith(("CREATE INDEX", "CREATE UNIQUE INDEX")):
+        return "index"
+    if upper.startswith("DROP TABLE"):
+        return "drop_table"
+    raise DDLError(f"unsupported statement: {sql.strip()[:60]!r}")

@@ -1,0 +1,244 @@
+"""Minimal DML: INSERT / SELECT / UPDATE / DELETE over single tables.
+
+Completes ``Database.execute`` so a downstream user can drive the engine
+with SQL-shaped statements end to end::
+
+    db.execute("INSERT INTO t VALUES (1, 'alice', 30)")
+    db.query("SELECT name, age FROM t WHERE dept = 1 AND age BETWEEN 20 AND 40")
+    db.execute("UPDATE t SET age = 31 WHERE dept = 1 AND emp = 3")
+    db.execute("DELETE FROM t WHERE dept = 2")
+
+Grammar (deliberately small, no joins/aggregates/ORDER BY):
+
+* literals: integers, floats, single-quoted strings (``''`` escapes ``'``);
+* WHERE: ``col = lit`` and ``col BETWEEN lit AND lit``, joined by AND;
+* access paths come from :mod:`repro.db.query`'s planner.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.db.query import Between, Condition, Eq, select
+
+_INSERT_RE = re.compile(
+    r"^\s*INSERT\s+INTO\s+(?P<table>\w+)\s*(?:\((?P<cols>[\w\s,]+)\))?\s*"
+    r"VALUES\s*\((?P<values>.*)\)\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_SELECT_RE = re.compile(
+    r"^\s*SELECT\s+(?P<cols>\*|[\w\s,]+?)\s+FROM\s+(?P<table>\w+)"
+    r"(?:\s+WHERE\s+(?P<where>.+?))?(?:\s+LIMIT\s+(?P<limit>\d+))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_UPDATE_RE = re.compile(
+    r"^\s*UPDATE\s+(?P<table>\w+)\s+SET\s+(?P<sets>.+?)"
+    r"(?:\s+WHERE\s+(?P<where>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_DELETE_RE = re.compile(
+    r"^\s*DELETE\s+FROM\s+(?P<table>\w+)(?:\s+WHERE\s+(?P<where>.+?))?\s*;?\s*$",
+    re.IGNORECASE | re.DOTALL,
+)
+_EQ_RE = re.compile(r"^(?P<col>\w+)\s*=\s*(?P<lit>.+)$", re.DOTALL)
+_BETWEEN_RE = re.compile(
+    r"^(?P<col>\w+)\s+BETWEEN\s+(?P<lo>.+?)\s+AND\s+(?P<hi>.+)$", re.IGNORECASE | re.DOTALL
+)
+
+
+class DMLError(Exception):
+    """Unparseable DML statement."""
+
+
+def parse_literal(text: str):
+    """Parse one SQL literal: int, float, or single-quoted string."""
+    text = text.strip()
+    if text.startswith("'") and text.endswith("'") and len(text) >= 2:
+        return text[1:-1].replace("''", "'")
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise DMLError(f"invalid literal {text!r}") from None
+
+
+def _split_commas(text: str) -> list[str]:
+    """Split on commas outside single quotes."""
+    parts: list[str] = []
+    current: list[str] = []
+    in_string = False
+    i = 0
+    while i < len(text):
+        ch = text[i]
+        if ch == "'":
+            # a doubled quote inside a string is an escape, not a boundary
+            if in_string and i + 1 < len(text) and text[i + 1] == "'":
+                current.append("''")
+                i += 2
+                continue
+            in_string = not in_string
+        if ch == "," and not in_string:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _split_and(text: str) -> list[str]:
+    """Split a WHERE clause on top-level ANDs (ignoring BETWEEN's AND)."""
+    tokens = re.split(r"\s+AND\s+", text, flags=re.IGNORECASE)
+    clauses: list[str] = []
+    pending: str | None = None
+    for token in tokens:
+        if pending is not None:
+            clauses.append(f"{pending} AND {token}")
+            pending = None
+        elif re.search(r"\bBETWEEN\s+\S+$", token, re.IGNORECASE) or re.search(
+            r"\bBETWEEN\b(?!.*\bAND\b)", token, re.IGNORECASE
+        ):
+            pending = token
+        else:
+            clauses.append(token)
+    if pending is not None:
+        raise DMLError(f"dangling BETWEEN in {text!r}")
+    return clauses
+
+
+def parse_where(text: str | None) -> list[Condition]:
+    """Parse a WHERE clause into query conditions."""
+    if not text:
+        return []
+    conditions: list[Condition] = []
+    for clause in _split_and(text.strip()):
+        clause = clause.strip()
+        between = _BETWEEN_RE.match(clause)
+        if between:
+            conditions.append(
+                Between(
+                    between.group("col"),
+                    parse_literal(between.group("lo")),
+                    parse_literal(between.group("hi")),
+                )
+            )
+            continue
+        eq = _EQ_RE.match(clause)
+        if eq:
+            conditions.append(Eq(eq.group("col"), parse_literal(eq.group("lit"))))
+            continue
+        raise DMLError(f"cannot parse condition {clause!r}")
+    return conditions
+
+
+@dataclass(frozen=True)
+class DMLResult:
+    """Outcome of one DML statement."""
+
+    kind: str
+    rows: list[tuple]
+    affected: int
+    end_us: float
+
+
+def execute_dml(db, sql: str, at: float = 0.0) -> DMLResult:
+    """Parse and run one DML statement against ``db``."""
+    upper = sql.lstrip().upper()
+    if upper.startswith("INSERT"):
+        return _run_insert(db, sql, at)
+    if upper.startswith("SELECT"):
+        return _run_select(db, sql, at)
+    if upper.startswith("UPDATE"):
+        return _run_update(db, sql, at)
+    if upper.startswith("DELETE"):
+        return _run_delete(db, sql, at)
+    raise DMLError(f"unsupported DML statement: {sql.strip()[:50]!r}")
+
+
+def is_dml(sql: str) -> bool:
+    """Whether ``sql`` looks like a DML statement this module handles."""
+    return sql.lstrip().upper().startswith(("INSERT", "SELECT", "UPDATE", "DELETE"))
+
+
+def _run_insert(db, sql: str, at: float) -> DMLResult:
+    match = _INSERT_RE.match(sql)
+    if not match:
+        raise DMLError(f"cannot parse INSERT: {sql!r}")
+    table = db.table(match.group("table"))
+    values = [parse_literal(v) for v in _split_commas(match.group("values"))]
+    if match.group("cols"):
+        names = [c.strip() for c in match.group("cols").split(",")]
+        if len(names) != len(values):
+            raise DMLError("column list and VALUES arity differ")
+        by_name = dict(zip(names, values))
+        row = tuple(by_name[c.name] for c in table.schema)
+    else:
+        row = tuple(values)
+    __, at = table.insert(row, at)
+    return DMLResult("insert", [], 1, at)
+
+
+def _run_select(db, sql: str, at: float) -> DMLResult:
+    match = _SELECT_RE.match(sql)
+    if not match:
+        raise DMLError(f"cannot parse SELECT: {sql!r}")
+    table = db.table(match.group("table"))
+    columns = None
+    if match.group("cols").strip() != "*":
+        columns = [c.strip() for c in match.group("cols").split(",")]
+    conditions = parse_where(match.group("where"))
+    limit = int(match.group("limit")) if match.group("limit") else None
+    rows, at = select(table, conditions, columns=columns, limit=limit, at=at)
+    return DMLResult("select", rows, len(rows), at)
+
+
+def _run_update(db, sql: str, at: float) -> DMLResult:
+    match = _UPDATE_RE.match(sql)
+    if not match:
+        raise DMLError(f"cannot parse UPDATE: {sql!r}")
+    table = db.table(match.group("table"))
+    changes: dict[str, object] = {}
+    for assignment in _split_commas(match.group("sets")):
+        eq = _EQ_RE.match(assignment.strip())
+        if not eq:
+            raise DMLError(f"cannot parse assignment {assignment!r}")
+        changes[eq.group("col")] = parse_literal(eq.group("lit"))
+    conditions = parse_where(match.group("where"))
+    schema = table.schema
+    # collect matching rids first (mutating while scanning is unsafe)
+    matches = [
+        rid
+        for rid, row, __ in table.scan(at)
+        if all(c.matches(row, schema) for c in conditions)
+    ]
+    affected = 0
+    for rid in matches:
+        __, at = table.update_columns(rid, changes, at)
+        affected += 1
+    return DMLResult("update", [], affected, at)
+
+
+def _run_delete(db, sql: str, at: float) -> DMLResult:
+    match = _DELETE_RE.match(sql)
+    if not match:
+        raise DMLError(f"cannot parse DELETE: {sql!r}")
+    table = db.table(match.group("table"))
+    conditions = parse_where(match.group("where"))
+    schema = table.schema
+    matches = [
+        rid
+        for rid, row, __ in table.scan(at)
+        if all(c.matches(row, schema) for c in conditions)
+    ]
+    affected = 0
+    for rid in matches:
+        at = table.delete(rid, at)
+        affected += 1
+    return DMLResult("delete", [], affected, at)

@@ -1,0 +1,198 @@
+"""A small query layer: filtered reads with index-aware planning.
+
+Workloads in this reproduction (TPC-C) hand-pick their access paths; this
+module adds the convenience layer a downstream user expects — declare the
+filter, let the planner pick the path:
+
+* conditions: :class:`Eq` and :class:`Between` over columns, implicitly
+  AND-ed;
+* the planner scores each index by the longest equality-bound prefix plus
+  an optional range on the next column, and falls back to a heap scan;
+* residual conditions are applied row-side either way.
+
+::
+
+    rows, t = select(table, [Eq("c_w_id", 1), Eq("c_d_id", 3)], at=t)
+    plan = explain(table, [Eq("c_id", 7)])   # -> "index C_IDX ..." / "scan"
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.records import Column, ColumnType, Schema
+from repro.db.table import Table
+
+
+class QueryError(Exception):
+    """Invalid condition or projection."""
+
+
+@dataclass(frozen=True)
+class Eq:
+    """``column = value``."""
+
+    column: str
+    value: object
+
+    def matches(self, row: tuple, schema: Schema) -> bool:
+        """Row-side evaluation."""
+        return row[schema.position(self.column)] == self.value
+
+
+@dataclass(frozen=True)
+class Between:
+    """``lo <= column <= hi`` (either bound may be ``None``)."""
+
+    column: str
+    lo: object = None
+    hi: object = None
+
+    def matches(self, row: tuple, schema: Schema) -> bool:
+        """Row-side evaluation."""
+        value = row[schema.position(self.column)]
+        if self.lo is not None and value < self.lo:
+            return False
+        if self.hi is not None and value > self.hi:
+            return False
+        return True
+
+
+Condition = Eq | Between
+
+#: sentinels bounding every legal key value, per column type
+_INT_MIN, _INT_MAX = -(2**62), 2**62
+
+
+def _column_min(column: Column):
+    if column.type is ColumnType.INT:
+        return _INT_MIN
+    return ""
+
+
+def _column_max(column: Column):
+    if column.type is ColumnType.INT:
+        return _INT_MAX
+    return "\x7f" * column.length
+
+
+@dataclass(frozen=True)
+class Plan:
+    """The access path chosen for a query."""
+
+    kind: str  # "index" or "scan"
+    index_name: str | None = None
+    eq_prefix: int = 0
+    has_range: bool = False
+
+    def describe(self) -> str:
+        """Human-readable plan line (what ``EXPLAIN`` would print)."""
+        if self.kind == "scan":
+            return "scan"
+        suffix = " + range" if self.has_range else ""
+        return f"index {self.index_name} (eq prefix {self.eq_prefix}{suffix})"
+
+
+def plan_query(table: Table, conditions: list[Condition]) -> Plan:
+    """Choose the best access path for ``conditions`` on ``table``."""
+    eqs = {c.column: c for c in conditions if isinstance(c, Eq)}
+    ranges = {c.column: c for c in conditions if isinstance(c, Between)}
+    best = Plan(kind="scan")
+    best_score = (0, False)
+    for index in table.info.indexes:
+        prefix = 0
+        for column in index.columns:
+            if column in eqs:
+                prefix += 1
+            else:
+                break
+        has_range = (
+            prefix < len(index.columns) and index.columns[prefix] in ranges
+        )
+        score = (prefix, has_range)
+        if (prefix > 0 or has_range) and score > best_score:
+            best = Plan(
+                kind="index",
+                index_name=index.name,
+                eq_prefix=prefix,
+                has_range=has_range,
+            )
+            best_score = score
+    return best
+
+
+def _key_bounds(table: Table, plan: Plan, conditions: list[Condition]) -> tuple[tuple, tuple]:
+    """Build (lo, hi) key tuples for the planned index."""
+    index = table.index(plan.index_name)
+    schema = table.schema
+    eqs = {c.column: c for c in conditions if isinstance(c, Eq)}
+    ranges = {c.column: c for c in conditions if isinstance(c, Between)}
+    lo: list = []
+    hi: list = []
+    for position, column_name in enumerate(index.columns):
+        column = schema.column(column_name)
+        if position < plan.eq_prefix:
+            lo.append(eqs[column_name].value)
+            hi.append(eqs[column_name].value)
+        elif position == plan.eq_prefix and plan.has_range:
+            r = ranges[column_name]
+            lo.append(r.lo if r.lo is not None else _column_min(column))
+            hi.append(r.hi if r.hi is not None else _column_max(column))
+        else:
+            lo.append(_column_min(column))
+            hi.append(_column_max(column))
+    return tuple(lo), tuple(hi)
+
+
+def select(
+    table: Table,
+    conditions: list[Condition] | None = None,
+    columns: list[str] | None = None,
+    limit: int | None = None,
+    at: float = 0.0,
+) -> tuple[list[tuple], float]:
+    """Run a filtered read over ``table``; returns ``(rows, completion_us)``.
+
+    Args:
+        table: the table to read.
+        conditions: AND-ed :class:`Eq` / :class:`Between` filters.
+        columns: projection (defaults to all columns, schema order).
+        limit: stop after this many matching rows.
+    """
+    conditions = list(conditions or [])
+    schema = table.schema
+    for condition in conditions:
+        schema.position(condition.column)  # validates early
+    projection = (
+        [schema.position(c) for c in columns] if columns is not None else None
+    )
+    plan = plan_query(table, conditions)
+    results: list[tuple] = []
+
+    def emit(row: tuple) -> bool:
+        if all(c.matches(row, schema) for c in conditions):
+            results.append(
+                tuple(row[i] for i in projection) if projection is not None else row
+            )
+            if limit is not None and len(results) >= limit:
+                return True
+        return False
+
+    if plan.kind == "index":
+        lo, hi = _key_bounds(table, plan, conditions)
+        index = table.index(plan.index_name)
+        entries, at = index.btree.range_scan(lo, hi, at)
+        for __, rid in entries:
+            row, at = table.read(rid, at)
+            if emit(row):
+                break
+    else:
+        for __, row, at in table.scan(at):
+            if emit(row):
+                break
+    return results, at
+
+
+def explain(table: Table, conditions: list[Condition] | None = None) -> str:
+    """The plan :func:`select` would choose, as a string."""
+    return plan_query(table, list(conditions or [])).describe()

@@ -1,0 +1,203 @@
+"""Row schemas and the record codec.
+
+Tables declare a :class:`Schema` of typed columns; :class:`RowCodec`
+serialises rows to the byte strings stored in slotted pages and back.
+Supported column types mirror what TPC-C needs:
+
+* ``INT`` — signed 64-bit integer;
+* ``FLOAT`` — IEEE double (TPC-C amounts; exactness is not exercised);
+* ``CHAR(n)`` — fixed-length text, space-padded;
+* ``VARCHAR(n)`` — variable-length text with a 2-byte length prefix.
+
+Rows with only fixed-width columns serialise to a fixed size, which the
+heap layer exploits for capacity estimates.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+
+class SchemaError(Exception):
+    """Invalid schema definition or row value."""
+
+
+class ColumnType(enum.Enum):
+    """Supported column types."""
+
+    INT = "int"
+    FLOAT = "float"
+    CHAR = "char"
+    VARCHAR = "varchar"
+
+
+@dataclass(frozen=True)
+class Column:
+    """One column: name, type and (for text types) length limit."""
+
+    name: str
+    type: ColumnType
+    length: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise SchemaError("column name must be non-empty")
+        if self.type in (ColumnType.CHAR, ColumnType.VARCHAR) and self.length <= 0:
+            raise SchemaError(f"column {self.name!r}: text types need a positive length")
+
+    @property
+    def fixed_size(self) -> int | None:
+        """Serialized size in bytes if fixed-width, else ``None``."""
+        if self.type is ColumnType.INT:
+            return 8
+        if self.type is ColumnType.FLOAT:
+            return 8
+        if self.type is ColumnType.CHAR:
+            return self.length
+        return None
+
+    @property
+    def max_size(self) -> int:
+        """Largest possible serialized size in bytes."""
+        if self.type is ColumnType.VARCHAR:
+            return 2 + self.length
+        size = self.fixed_size
+        assert size is not None
+        return size
+
+
+def int_col(name: str) -> Column:
+    """Shorthand for an INT column."""
+    return Column(name, ColumnType.INT)
+
+
+def float_col(name: str) -> Column:
+    """Shorthand for a FLOAT column."""
+    return Column(name, ColumnType.FLOAT)
+
+
+def char_col(name: str, length: int) -> Column:
+    """Shorthand for a CHAR(length) column."""
+    return Column(name, ColumnType.CHAR, length)
+
+
+def varchar_col(name: str, length: int) -> Column:
+    """Shorthand for a VARCHAR(length) column."""
+    return Column(name, ColumnType.VARCHAR, length)
+
+
+class Schema:
+    """An ordered set of columns."""
+
+    def __init__(self, columns: list[Column]) -> None:
+        if not columns:
+            raise SchemaError("schema needs at least one column")
+        names = [c.name for c in columns]
+        if len(set(names)) != len(names):
+            raise SchemaError(f"duplicate column names in schema: {names}")
+        self.columns = list(columns)
+        self._index = {c.name: i for i, c in enumerate(columns)}
+
+    def __len__(self) -> int:
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def position(self, name: str) -> int:
+        """Index of column ``name`` in the row tuple."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no column named {name!r}") from None
+
+    def column(self, name: str) -> Column:
+        """Column definition by name."""
+        return self.columns[self.position(name)]
+
+    def project(self, names: list[str]) -> "Schema":
+        """Sub-schema of the named columns (in the given order)."""
+        return Schema([self.column(n) for n in names])
+
+    @property
+    def max_row_size(self) -> int:
+        """Largest serialized row size in bytes."""
+        return sum(c.max_size for c in self.columns)
+
+    @property
+    def fixed_row_size(self) -> int | None:
+        """Serialized row size if all columns are fixed-width, else ``None``."""
+        total = 0
+        for c in self.columns:
+            size = c.fixed_size
+            if size is None:
+                return None
+            total += size
+        return total
+
+
+class RowCodec:
+    """Serialises rows (tuples, schema order) to bytes and back."""
+
+    def __init__(self, schema: Schema) -> None:
+        self.schema = schema
+
+    def encode(self, row: tuple) -> bytes:
+        """Serialise ``row``; validates arity, types and text lengths."""
+        if len(row) != len(self.schema):
+            raise SchemaError(
+                f"row has {len(row)} values, schema has {len(self.schema)} columns"
+            )
+        parts: list[bytes] = []
+        for column, value in zip(self.schema, row):
+            parts.append(self._encode_value(column, value))
+        return b"".join(parts)
+
+    def decode(self, data: bytes) -> tuple:
+        """Inverse of :meth:`encode`."""
+        values = []
+        offset = 0
+        for column in self.schema:
+            value, offset = self._decode_value(column, data, offset)
+            values.append(value)
+        if offset != len(data):
+            raise SchemaError(f"trailing {len(data) - offset} bytes after decoding row")
+        return tuple(values)
+
+    def _encode_value(self, column: Column, value) -> bytes:
+        if column.type is ColumnType.INT:
+            if not isinstance(value, int):
+                raise SchemaError(f"column {column.name!r} expects int, got {type(value).__name__}")
+            return struct.pack("<q", value)
+        if column.type is ColumnType.FLOAT:
+            if not isinstance(value, (int, float)):
+                raise SchemaError(f"column {column.name!r} expects number, got {type(value).__name__}")
+            return struct.pack("<d", float(value))
+        if not isinstance(value, str):
+            raise SchemaError(f"column {column.name!r} expects str, got {type(value).__name__}")
+        raw = value.encode("utf-8")
+        if len(raw) > column.length:
+            raise SchemaError(
+                f"column {column.name!r}: value of {len(raw)} bytes exceeds "
+                f"{column.type.value.upper()}({column.length})"
+            )
+        if column.type is ColumnType.CHAR:
+            return raw.ljust(column.length, b" ")
+        return struct.pack("<H", len(raw)) + raw
+
+    def _decode_value(self, column: Column, data: bytes, offset: int):
+        if column.type is ColumnType.INT:
+            (value,) = struct.unpack_from("<q", data, offset)
+            return value, offset + 8
+        if column.type is ColumnType.FLOAT:
+            (value,) = struct.unpack_from("<d", data, offset)
+            return value, offset + 8
+        if column.type is ColumnType.CHAR:
+            raw = data[offset : offset + column.length]
+            return raw.decode("utf-8").rstrip(" "), offset + column.length
+        (length,) = struct.unpack_from("<H", data, offset)
+        offset += 2
+        raw = data[offset : offset + length]
+        return raw.decode("utf-8"), offset + length

@@ -1,0 +1,159 @@
+"""Table access layer: heap operations with automatic index maintenance.
+
+:class:`Table` is what workloads use.  Every mutation keeps the table's
+secondary indexes consistent — inserts add entries, deletes remove them,
+and updates fix exactly the indexes whose key columns changed (or all of
+them when the record had to move to a new RID).
+"""
+
+from __future__ import annotations
+
+from repro.db.catalog import IndexInfo, TableInfo
+from repro.db.heap import RID
+
+
+class TableError(Exception):
+    """Invalid table operation."""
+
+
+class Table:
+    """Operational wrapper around a catalog table entry.
+
+    When ``wal`` is given, every mutation appends a redo record before
+    returning (see :mod:`repro.db.wal`).
+    """
+
+    def __init__(self, info: TableInfo, wal=None) -> None:
+        self.info = info
+        self.wal = wal
+        self._key_positions: dict[str, list[int]] = {
+            index.name: [info.schema.position(c) for c in index.columns]
+            for index in info.indexes
+        }
+
+    def _positions(self, index: IndexInfo) -> list[int]:
+        positions = self._key_positions.get(index.name)
+        if positions is None:  # index created after the wrapper
+            positions = [self.info.schema.position(c) for c in index.columns]
+            self._key_positions[index.name] = positions
+        return positions
+
+    def _key_of(self, index: IndexInfo, row: tuple) -> tuple:
+        return tuple(row[i] for i in self._positions(index))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        """Table name."""
+        return self.info.name
+
+    @property
+    def schema(self):
+        """Row schema."""
+        return self.info.schema
+
+    @property
+    def row_count(self) -> int:
+        """Live rows."""
+        return self.info.heap.row_count
+
+    # ------------------------------------------------------------------
+    # Mutations (index-maintaining)
+    # ------------------------------------------------------------------
+    def insert(self, row: tuple, at: float) -> tuple[RID, float]:
+        """Insert a row, updating every index (and the WAL, if attached)."""
+        rid, at = self.info.heap.insert(row, at)
+        for index in self.info.indexes:
+            at = index.btree.insert(self._key_of(index, row), rid, at)
+        if self.wal is not None:
+            from repro.db.wal import LogRecordType
+
+            __, at = self.wal.append(
+                LogRecordType.INSERT, self.name, rid, self.info.heap.codec.encode(row), at
+            )
+        return rid, at
+
+    def read(self, rid: RID, at: float) -> tuple[tuple, float]:
+        """Read the row at ``rid``."""
+        return self.info.heap.read(rid, at)
+
+    def update(self, rid: RID, row: tuple, at: float) -> tuple[RID, float]:
+        """Replace the row at ``rid``; returns the (possibly new) RID.
+
+        Index entries are rewritten only when their key changed or the
+        record moved.
+        """
+        old_row, at = self.info.heap.read(rid, at)
+        if self.wal is not None:
+            from repro.db.wal import LogRecordType
+
+            __, at = self.wal.append(
+                LogRecordType.UPDATE, self.name, rid, self.info.heap.codec.encode(row), at
+            )
+        new_rid, at = self.info.heap.update(rid, row, at)
+        for index in self.info.indexes:
+            old_key = self._key_of(index, old_row)
+            new_key = self._key_of(index, row)
+            if old_key == new_key and new_rid == rid:
+                continue
+            __, at = index.btree.delete(old_key, rid, at)
+            at = index.btree.insert(new_key, new_rid, at)
+        return new_rid, at
+
+    def update_columns(self, rid: RID, changes: dict[str, object], at: float) -> tuple[RID, float]:
+        """Read-modify-write of named columns."""
+        row, at = self.info.heap.read(rid, at)
+        values = list(row)
+        for name, value in changes.items():
+            values[self.info.schema.position(name)] = value
+        return self.update(rid, tuple(values), at)
+
+    def delete(self, rid: RID, at: float) -> float:
+        """Delete the row at ``rid``, removing its index entries."""
+        if self.wal is not None:
+            from repro.db.wal import LogRecordType
+
+            __, at = self.wal.append(LogRecordType.DELETE, self.name, rid, b"", at)
+        row, at = self.info.heap.read(rid, at)
+        at = self.info.heap.delete(rid, at)
+        for index in self.info.indexes:
+            __, at = index.btree.delete(self._key_of(index, row), rid, at)
+        return at
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+    def index(self, name: str) -> IndexInfo:
+        """One of this table's indexes, by name."""
+        for index in self.info.indexes:
+            if index.name == name:
+                return index
+        raise TableError(f"table {self.name!r} has no index {name!r}")
+
+    def lookup(self, index_name: str, key: tuple, at: float) -> tuple[tuple | None, float]:
+        """Fetch the first row matching ``key`` via an index, or ``None``."""
+        index = self.index(index_name)
+        rid, at = index.btree.search(tuple(key), at)
+        if rid is None:
+            return None, at
+        return self.read(rid, at)
+
+    def lookup_rid(self, index_name: str, key: tuple, at: float) -> tuple[RID | None, float]:
+        """Find the first RID matching ``key`` via an index."""
+        return self.index(index_name).btree.search(tuple(key), at)
+
+    def lookup_all(self, index_name: str, key: tuple, at: float) -> tuple[list[tuple[RID, tuple]], float]:
+        """Fetch every (rid, row) matching ``key`` via a non-unique index."""
+        index = self.index(index_name)
+        rids, at = index.btree.search_all(tuple(key), at)
+        results = []
+        for rid in rids:
+            row, at = self.read(rid, at)
+            results.append((rid, row))
+        return results, at
+
+    def scan(self, at: float):
+        """Full-table scan; yields ``(rid, row, completion_us)``."""
+        return self.info.heap.scan(at)

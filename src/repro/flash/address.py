@@ -1,0 +1,94 @@
+"""Physical page addressing for the native flash interface.
+
+Under NoFTL the DBMS addresses flash *physically*: a page is identified by
+``(die, block, page)`` where ``die`` is a global die index, ``block`` is a
+die-local erase-block index and ``page`` is a block-local page index.  This
+module provides the address value type plus linearization helpers, which the
+host-side translation layer uses to pack physical addresses into compact
+integers for its mapping tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.flash.geometry import FlashGeometry
+
+
+@dataclass(frozen=True, order=True)
+class PhysicalPageAddress:
+    """Address of one flash page: ``(die, block, page)``.
+
+    Instances are immutable, hashable and totally ordered (lexicographic),
+    so they can be used as dict keys and sorted for deterministic output.
+    """
+
+    die: int
+    block: int
+    page: int
+
+    def block_address(self) -> "PhysicalBlockAddress":
+        """Return the address of the erase block containing this page."""
+        return PhysicalBlockAddress(self.die, self.block)
+
+    def validate(self, geometry: FlashGeometry) -> "PhysicalPageAddress":
+        """Raise :class:`~repro.flash.errors.AddressError` if out of range."""
+        geometry.check_die(self.die)
+        geometry.check_block(self.block)
+        geometry.check_page(self.page)
+        return self
+
+    def to_int(self, geometry: FlashGeometry) -> int:
+        """Pack this address into a dense integer in ``[0, total_pages)``."""
+        self.validate(geometry)
+        return (
+            self.die * geometry.pages_per_die
+            + self.block * geometry.pages_per_block
+            + self.page
+        )
+
+    @classmethod
+    def from_int(cls, value: int, geometry: FlashGeometry) -> "PhysicalPageAddress":
+        """Inverse of :meth:`to_int`."""
+        if not 0 <= value < geometry.total_pages:
+            raise ValueError(f"packed address {value} out of range [0, {geometry.total_pages})")
+        die, rest = divmod(value, geometry.pages_per_die)
+        block, page = divmod(rest, geometry.pages_per_block)
+        return cls(die, block, page)
+
+    def __str__(self) -> str:
+        return f"ppa(d{self.die}/b{self.block}/p{self.page})"
+
+
+@dataclass(frozen=True, order=True)
+class PhysicalBlockAddress:
+    """Address of one erase block: ``(die, block)``."""
+
+    die: int
+    block: int
+
+    def page(self, page: int) -> PhysicalPageAddress:
+        """Return the address of ``page`` within this block."""
+        return PhysicalPageAddress(self.die, self.block, page)
+
+    def validate(self, geometry: FlashGeometry) -> "PhysicalBlockAddress":
+        """Raise :class:`~repro.flash.errors.AddressError` if out of range."""
+        geometry.check_die(self.die)
+        geometry.check_block(self.block)
+        return self
+
+    def to_int(self, geometry: FlashGeometry) -> int:
+        """Pack this address into a dense integer in ``[0, total_blocks)``."""
+        self.validate(geometry)
+        return self.die * geometry.blocks_per_die + self.block
+
+    @classmethod
+    def from_int(cls, value: int, geometry: FlashGeometry) -> "PhysicalBlockAddress":
+        """Inverse of :meth:`to_int`."""
+        if not 0 <= value < geometry.total_blocks:
+            raise ValueError(f"packed block {value} out of range [0, {geometry.total_blocks})")
+        die, block = divmod(value, geometry.blocks_per_die)
+        return cls(die, block)
+
+    def __str__(self) -> str:
+        return f"pba(d{self.die}/b{self.block})"

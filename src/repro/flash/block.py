@@ -1,0 +1,172 @@
+"""Erase-block and page state machines.
+
+The chip enforces exactly the rules real NAND enforces and nothing more:
+
+* a page can be programmed only once between erases;
+* pages within a block must be programmed in strictly ascending order;
+* an erase wipes all pages and increments the block's P/E cycle count;
+* a block whose P/E count exceeds the rated endurance becomes *bad*.
+
+Note what is deliberately **absent**: the chip does not know which pages are
+logically valid or invalid.  Valid/invalid bookkeeping is address-management
+state and therefore belongs to whoever performs the address translation —
+the on-device FTL in the baseline (:mod:`repro.ftl`) or the DBMS itself
+under NoFTL (:mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.flash.errors import BadBlockError, EraseError, ProgramError, ReadError
+
+
+@dataclass
+class PageMetadata:
+    """Out-of-band (OOB) metadata stored with each page.
+
+    The native flash interface of the paper (Figure 1) exposes *handle Page
+    Metadata* as a first-class command: the host stores its own bookkeeping
+    (logical page number, write sequence, owning object) in the spare area
+    so address-translation state can be rebuilt after a crash.
+
+    Attributes:
+        lpn: logical page number the payload belongs to, or ``None``.
+        seq: monotonically increasing write sequence number.
+        obj_id: identifier of the owning database object, or ``None``.
+        extra: free-form host annotations.
+    """
+
+    lpn: int | None = None
+    seq: int = 0
+    obj_id: int | None = None
+    extra: dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class _Page:
+    """One flash page: programmed flag, payload and OOB metadata."""
+
+    programmed: bool = False
+    data: bytes = b""
+    metadata: PageMetadata | None = None
+
+
+class Block:
+    """One erase block of ``pages_per_block`` pages.
+
+    Tracks the write pointer (next page that may legally be programmed),
+    the erase count and the bad flag.  All latency accounting lives in the
+    device layer; the block is pure state.
+    """
+
+    def __init__(self, pages_per_block: int, max_pe_cycles: int) -> None:
+        if pages_per_block <= 0:
+            raise ValueError("pages_per_block must be positive")
+        self._pages: list[_Page] = [_Page() for _ in range(pages_per_block)]
+        self._write_pointer = 0
+        self._erase_count = 0
+        self._reads_since_erase = 0
+        self._max_pe_cycles = max_pe_cycles
+        self._bad = False
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def pages_per_block(self) -> int:
+        """Number of pages in this block."""
+        return len(self._pages)
+
+    @property
+    def write_pointer(self) -> int:
+        """Index of the next page that may be programmed (== pages programmed)."""
+        return self._write_pointer
+
+    @property
+    def erase_count(self) -> int:
+        """P/E cycles this block has endured."""
+        return self._erase_count
+
+    @property
+    def reads_since_erase(self) -> int:
+        """Page reads since the last erase (the read-disturb counter)."""
+        return self._reads_since_erase
+
+    @property
+    def is_bad(self) -> bool:
+        """Whether the block has been retired (worn out or marked bad)."""
+        return self._bad
+
+    @property
+    def is_full(self) -> bool:
+        """Whether every page has been programmed since the last erase."""
+        return self._write_pointer >= len(self._pages)
+
+    @property
+    def is_erased(self) -> bool:
+        """Whether no page has been programmed since the last erase."""
+        return self._write_pointer == 0
+
+    def is_programmed(self, page: int) -> bool:
+        """Whether ``page`` currently holds programmed content."""
+        return self._pages[page].programmed
+
+    # ------------------------------------------------------------------
+    # Commands (state transitions only; timing handled by the device)
+    # ------------------------------------------------------------------
+    def program(self, page: int, data: bytes, metadata: PageMetadata | None) -> None:
+        """Program ``page`` with ``data`` and OOB ``metadata``.
+
+        Enforces once-per-erase programming and in-order page programming.
+        """
+        if self._bad:
+            raise BadBlockError("cannot program a bad block")
+        cell = self._pages[page]
+        if cell.programmed:
+            raise ProgramError(f"page {page} already programmed since last erase")
+        if page != self._write_pointer:
+            raise ProgramError(
+                f"out-of-order program: page {page}, expected page {self._write_pointer} "
+                "(NAND requires sequential programming within a block)"
+            )
+        cell.programmed = True
+        cell.data = data
+        cell.metadata = metadata
+        self._write_pointer += 1
+
+    def read(self, page: int) -> tuple[bytes, PageMetadata | None]:
+        """Return ``(data, metadata)`` of a programmed page."""
+        if self._bad:
+            raise BadBlockError("cannot read a bad block")
+        cell = self._pages[page]
+        if not cell.programmed:
+            raise ReadError(f"page {page} has not been programmed")
+        self._reads_since_erase += 1
+        return cell.data, cell.metadata
+
+    def erase(self) -> None:
+        """Erase the whole block, incrementing the P/E cycle count.
+
+        If the erase pushes the block past its rated endurance the block is
+        retired and :class:`~repro.flash.errors.WearOutError` propagates to
+        the caller via the device layer marking it bad; here we simply flag
+        it — the erase itself still succeeds, matching how real blocks fail
+        gradually after their rating.
+        """
+        if self._bad:
+            raise EraseError("cannot erase a bad block")
+        for cell in self._pages:
+            cell.programmed = False
+            cell.data = b""
+            cell.metadata = None
+        self._write_pointer = 0
+        self._erase_count += 1
+        self._reads_since_erase = 0
+        if self._erase_count >= self._max_pe_cycles:
+            self._bad = True
+
+    def mark_bad(self) -> None:
+        """Retire this block (manufacture-time or grown bad block)."""
+        self._bad = True

@@ -1,0 +1,348 @@
+"""The native flash device: command set, timing and contention.
+
+:class:`FlashDevice` exposes exactly the native interface of the paper's
+Figure 1 — *Read/Program Page, Erase Block, Copyback, handle Page Metadata*
+— plus the geometry and per-die/per-channel occupancy timelines that make
+data placement matter.
+
+Every command takes the caller's current virtual time ``at`` and returns a
+:class:`CommandResult` carrying the completion time.  Commands contend for
+two resources:
+
+* the **die** (one array operation at a time), and
+* the **channel** (shared by all chips on it, used only for host transfers —
+  copyback and erase never move data over the channel, which is precisely
+  why GC prefers copyback).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.flash.address import PhysicalBlockAddress, PhysicalPageAddress
+from repro.flash.block import Block, PageMetadata
+from repro.flash.die import Die
+from repro.flash.errors import (
+    AddressError,
+    BadBlockError,
+    CopybackError,
+    DataError,
+)
+from repro.flash.geometry import FlashGeometry
+from repro.flash.simclock import ResourceTimeline, SimClock
+from repro.flash.stats import FlashStats
+from repro.flash.timing import DEFAULT_TIMING, TimingModel
+
+
+@dataclass(frozen=True)
+class CommandResult:
+    """Outcome of one native flash command.
+
+    Attributes:
+        start_us: when the command began executing (after queueing).
+        end_us: when the command completed; the caller's clock should
+            advance to this value for synchronous I/O.
+        data: page payload for READ PAGE, else ``None``.
+        metadata: OOB metadata for READ PAGE, else ``None``.
+    """
+
+    start_us: float
+    end_us: float
+    data: bytes | None = None
+    metadata: PageMetadata | None = None
+
+    @property
+    def service_us(self) -> float:
+        """Execution time excluding queueing (start to completion)."""
+        return self.end_us - self.start_us
+
+
+class FlashDevice:
+    """A simulated native flash device (a loose set of flash dies).
+
+    Args:
+        geometry: physical shape of the device.
+        timing: latency model; defaults to :data:`~repro.flash.timing.DEFAULT_TIMING`.
+        clock: shared virtual clock; a fresh one is created if omitted.
+        initial_bad_block_rate: fraction of blocks marked bad at
+            "manufacture time" (deterministic given ``seed``).
+        strict_plane_copyback: if ``True``, COPYBACK additionally requires
+            source and destination to share a plane, as on strict hardware.
+        seed: RNG seed for bad-block placement.
+    """
+
+    def __init__(
+        self,
+        geometry: FlashGeometry,
+        timing: TimingModel | None = None,
+        clock: SimClock | None = None,
+        initial_bad_block_rate: float = 0.0,
+        strict_plane_copyback: bool = False,
+        seed: int = 0,
+    ) -> None:
+        if not 0.0 <= initial_bad_block_rate < 1.0:
+            raise ValueError("initial_bad_block_rate must be in [0, 1)")
+        self.geometry = geometry
+        self.timing = timing if timing is not None else DEFAULT_TIMING
+        self.clock = clock if clock is not None else SimClock()
+        self.strict_plane_copyback = strict_plane_copyback
+        self.dies: list[Die] = [Die(i, geometry) for i in range(geometry.dies)]
+        self.channels: list[ResourceTimeline] = [
+            ResourceTimeline(name=f"ch{i}") for i in range(geometry.channels)
+        ]
+        self.stats = FlashStats(dies=geometry.dies)
+        self._seq = 0
+        if initial_bad_block_rate > 0.0:
+            rng = random.Random(seed)
+            for die in self.dies:
+                for block in die.blocks:
+                    if rng.random() < initial_bad_block_rate:
+                        block.mark_bad()
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def die(self, index: int) -> Die:
+        """Return die ``index`` (validated)."""
+        self.geometry.check_die(index)
+        return self.dies[index]
+
+    def block(self, address: PhysicalBlockAddress) -> Block:
+        """Return the block at ``address`` (validated)."""
+        address.validate(self.geometry)
+        return self.dies[address.die].blocks[address.block]
+
+    def channel_of_die(self, die: int) -> ResourceTimeline:
+        """Return the channel timeline serving ``die``."""
+        return self.channels[self.geometry.channel_of_die(die)]
+
+    def next_sequence(self) -> int:
+        """Monotonic write sequence number for page metadata."""
+        self._seq += 1
+        return self._seq
+
+    # ------------------------------------------------------------------
+    # Native command set
+    # ------------------------------------------------------------------
+    def read_page(self, ppa: PhysicalPageAddress, at: float | None = None) -> CommandResult:
+        """READ PAGE: array read on the die, then transfer over the channel."""
+        ppa.validate(self.geometry)
+        issue = self.clock.now if at is None else at
+        die = self.dies[ppa.die]
+        data, metadata = die.blocks[ppa.block].read(ppa.page)
+        start, array_done = die.timeline.reserve(issue, self.timing.read_us)
+        channel = self.channel_of_die(ppa.die)
+        bus = self.timing.bus_us(self.geometry.page_size, self.geometry.page_size)
+        __, end = channel.reserve(array_done, bus)
+        self.stats.record_read(ppa.die, len(data), end - issue)
+        self.clock.advance_to(end)
+        return CommandResult(start_us=start, end_us=end, data=data, metadata=metadata)
+
+    def read_metadata(self, ppa: PhysicalPageAddress, at: float | None = None) -> CommandResult:
+        """Handle Page Metadata: read only the OOB area of a page.
+
+        Cheaper than a full page read (partial bus transfer); used by the
+        host to rebuild translation state at recovery time.
+        """
+        ppa.validate(self.geometry)
+        issue = self.clock.now if at is None else at
+        die = self.dies[ppa.die]
+        __, metadata = die.blocks[ppa.block].read(ppa.page)
+        start, array_done = die.timeline.reserve(issue, self.timing.read_us)
+        channel = self.channel_of_die(ppa.die)
+        bus = self.timing.bus_us(self.geometry.oob_size, self.geometry.page_size)
+        __, end = channel.reserve(array_done, bus)
+        self.stats.record_read(ppa.die, self.geometry.oob_size, end - issue)
+        self.clock.advance_to(end)
+        return CommandResult(start_us=start, end_us=end, data=None, metadata=metadata)
+
+    def program_page(
+        self,
+        ppa: PhysicalPageAddress,
+        data: bytes,
+        metadata: PageMetadata | None = None,
+        at: float | None = None,
+    ) -> CommandResult:
+        """PROGRAM PAGE: transfer over the channel, then program the array."""
+        ppa.validate(self.geometry)
+        if not isinstance(data, (bytes, bytearray, memoryview)):
+            raise DataError(f"page payload must be bytes-like, got {type(data).__name__}")
+        data = bytes(data)
+        if len(data) > self.geometry.page_size:
+            raise DataError(
+                f"payload of {len(data)} bytes exceeds page size {self.geometry.page_size}"
+            )
+        issue = self.clock.now if at is None else at
+        die = self.dies[ppa.die]
+        channel = self.channel_of_die(ppa.die)
+        bus = self.timing.bus_us(self.geometry.page_size, self.geometry.page_size)
+        start, xfer_done = channel.reserve(issue, bus)
+        __, end = die.timeline.reserve(xfer_done, self.timing.program_us)
+        die.blocks[ppa.block].program(ppa.page, data, metadata)
+        self.stats.record_program(ppa.die, len(data), end - issue)
+        self.clock.advance_to(end)
+        return CommandResult(start_us=start, end_us=end)
+
+    def erase_block(self, pba: PhysicalBlockAddress, at: float | None = None) -> CommandResult:
+        """ERASE BLOCK: array-only operation, no channel occupancy."""
+        pba.validate(self.geometry)
+        issue = self.clock.now if at is None else at
+        die = self.dies[pba.die]
+        die.blocks[pba.block].erase()
+        start, end = die.timeline.reserve(issue, self.timing.erase_us)
+        self.stats.record_erase(pba.die)
+        self.clock.advance_to(end)
+        return CommandResult(start_us=start, end_us=end)
+
+    def copyback(
+        self,
+        src: PhysicalPageAddress,
+        dst: PhysicalPageAddress,
+        metadata: PageMetadata | None = None,
+        at: float | None = None,
+    ) -> CommandResult:
+        """COPYBACK: move a page within one die without a host transfer.
+
+        The payload travels cell array -> page register -> cell array
+        entirely on-die, so only the die timeline is occupied.  If
+        ``metadata`` is given it replaces the OOB of the destination page
+        (hosts use this to refresh the write sequence number); otherwise
+        the source metadata is carried over.
+        """
+        src.validate(self.geometry)
+        dst.validate(self.geometry)
+        if src.die != dst.die:
+            raise CopybackError(f"copyback must stay on one die: {src} -> {dst}")
+        if self.strict_plane_copyback:
+            src_plane = self.geometry.plane_of_block(src.block)
+            dst_plane = self.geometry.plane_of_block(dst.block)
+            if src_plane != dst_plane:
+                raise CopybackError(
+                    f"strict plane copyback: {src} (plane {src_plane}) -> {dst} (plane {dst_plane})"
+                )
+        issue = self.clock.now if at is None else at
+        die = self.dies[src.die]
+        data, src_meta = die.blocks[src.block].read(src.page)
+        die.blocks[dst.block].program(dst.page, data, metadata if metadata is not None else src_meta)
+        start, end = die.timeline.reserve(issue, self.timing.copyback_us)
+        self.stats.record_copyback(src.die)
+        self.clock.advance_to(end)
+        return CommandResult(start_us=start, end_us=end)
+
+    # ------------------------------------------------------------------
+    # Multi-plane operations
+    # ------------------------------------------------------------------
+    def program_multi_plane(
+        self,
+        ppas: list[PhysicalPageAddress],
+        payloads: list[bytes],
+        metadatas: list[PageMetadata | None] | None = None,
+        at: float | None = None,
+    ) -> CommandResult:
+        """Multi-plane PROGRAM: one page per plane of one die, one array op.
+
+        Real NAND exposes this to multiply program bandwidth: the pages'
+        data is shifted in sequentially over the channel, then all planes
+        program **concurrently**, so the array phase is paid once instead
+        of once per page.  Constraints (as on hardware): all targets on the
+        same die, one page per distinct plane.
+        """
+        if not ppas:
+            raise DataError("multi-plane program needs at least one page")
+        if len(ppas) != len(payloads):
+            raise DataError("pages and payloads differ in length")
+        metadatas = metadatas if metadatas is not None else [None] * len(ppas)
+        die_index = ppas[0].die
+        planes = set()
+        for ppa in ppas:
+            ppa.validate(self.geometry)
+            if ppa.die != die_index:
+                raise CopybackError("multi-plane program must stay on one die")
+            plane = self.geometry.plane_of_block(ppa.block)
+            if plane in planes:
+                raise DataError(f"two pages target plane {plane}")
+            planes.add(plane)
+        issue = self.clock.now if at is None else at
+        die = self.dies[die_index]
+        channel = self.channel_of_die(die_index)
+        bus = self.timing.bus_us(self.geometry.page_size, self.geometry.page_size)
+        # sequential transfers, then one shared program phase
+        start = None
+        xfer_done = issue
+        for __ in ppas:
+            s, xfer_done = channel.reserve(xfer_done, bus)
+            start = s if start is None else start
+        __, end = die.timeline.reserve(xfer_done, self.timing.program_us)
+        for ppa, data, meta in zip(ppas, payloads, metadatas):
+            data = bytes(data)
+            if len(data) > self.geometry.page_size:
+                raise DataError(
+                    f"payload of {len(data)} bytes exceeds page size {self.geometry.page_size}"
+                )
+            die.blocks[ppa.block].program(ppa.page, data, meta)
+            self.stats.record_program(ppa.die, len(data), end - issue)
+        self.clock.advance_to(end)
+        return CommandResult(start_us=start, end_us=end)
+
+    def read_multi_plane(
+        self, ppas: list[PhysicalPageAddress], at: float | None = None
+    ) -> list[CommandResult]:
+        """Multi-plane READ: one page per plane of one die, one array op.
+
+        The array read is paid once; the transfers drain sequentially over
+        the channel.  Returns one result per requested page, in order.
+        """
+        if not ppas:
+            raise DataError("multi-plane read needs at least one page")
+        die_index = ppas[0].die
+        planes = set()
+        for ppa in ppas:
+            ppa.validate(self.geometry)
+            if ppa.die != die_index:
+                raise CopybackError("multi-plane read must stay on one die")
+            plane = self.geometry.plane_of_block(ppa.block)
+            if plane in planes:
+                raise DataError(f"two pages target plane {plane}")
+            planes.add(plane)
+        issue = self.clock.now if at is None else at
+        die = self.dies[die_index]
+        start, array_done = die.timeline.reserve(issue, self.timing.read_us)
+        channel = self.channel_of_die(die_index)
+        bus = self.timing.bus_us(self.geometry.page_size, self.geometry.page_size)
+        results = []
+        xfer_done = array_done
+        for ppa in ppas:
+            data, metadata = die.blocks[ppa.block].read(ppa.page)
+            __, xfer_done = channel.reserve(xfer_done, bus)
+            self.stats.record_read(ppa.die, len(data), xfer_done - issue)
+            results.append(
+                CommandResult(start_us=start, end_us=xfer_done, data=data, metadata=metadata)
+            )
+        self.clock.advance_to(xfer_done)
+        return results
+
+    # ------------------------------------------------------------------
+    # Wear / health reporting
+    # ------------------------------------------------------------------
+    def erase_counts(self) -> list[list[int]]:
+        """Per-die lists of per-block erase counts."""
+        return [die.erase_counts() for die in self.dies]
+
+    def max_erase_count(self) -> int:
+        """Highest per-block erase count anywhere on the device."""
+        return max((b.erase_count for die in self.dies for b in die.blocks), default=0)
+
+    def total_erase_count(self) -> int:
+        """Sum of erase counts over the whole device."""
+        return sum(die.total_erase_count for die in self.dies)
+
+    def die_utilizations(self, horizon: float | None = None) -> list[float]:
+        """Busy fraction of each die over ``[0, horizon]`` (default: now)."""
+        h = self.clock.now if horizon is None else horizon
+        return [die.timeline.utilization(h) for die in self.dies]
+
+    def channel_utilizations(self, horizon: float | None = None) -> list[float]:
+        """Busy fraction of each channel over ``[0, horizon]`` (default: now)."""
+        h = self.clock.now if horizon is None else horizon
+        return [ch.utilization(h) for ch in self.channels]

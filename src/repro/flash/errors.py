@@ -1,0 +1,57 @@
+"""Exception hierarchy for the native flash simulator.
+
+Every error raised by :mod:`repro.flash` derives from :class:`FlashError`, so
+callers that want blanket handling of device-level failures can catch a single
+type.  The concrete subclasses mirror the failure modes of real NAND flash
+hardware: addressing outside the device geometry, violating the
+program/erase discipline, exceeding endurance, and touching blocks that were
+retired to the bad-block table.
+"""
+
+from __future__ import annotations
+
+
+class FlashError(Exception):
+    """Base class for all errors raised by the flash simulator."""
+
+
+class AddressError(FlashError):
+    """A physical address does not exist in the device geometry."""
+
+
+class ProgramError(FlashError):
+    """A PROGRAM PAGE command violated NAND programming rules.
+
+    Raised when programming a page that has not been erased since it was
+    last programmed, or when programming pages of a block out of order
+    (NAND requires strictly sequential page programming within a block).
+    """
+
+
+class EraseError(FlashError):
+    """An ERASE BLOCK command could not be performed."""
+
+
+class CopybackError(FlashError):
+    """A COPYBACK command violated its constraints.
+
+    Real NAND copyback moves a page through the on-die page register and is
+    only possible within one die (and, on strict hardware, within one
+    plane).
+    """
+
+
+class ReadError(FlashError):
+    """A READ PAGE command targeted a page with no readable content."""
+
+
+class WearOutError(FlashError):
+    """A block exceeded its rated program/erase endurance."""
+
+
+class BadBlockError(FlashError):
+    """The command targeted a block in the bad-block table."""
+
+
+class DataError(FlashError):
+    """Page payload does not fit the geometry (too large, wrong type)."""

@@ -1,0 +1,135 @@
+"""Virtual time and resource occupancy.
+
+The simulator is *trace-driven with resource reservation* rather than a full
+discrete-event simulator: callers carry their own virtual clock (e.g. each
+TPC-C terminal knows "its" current time) and every flash command reserves
+time on the shared resources it needs — the target die and, for host
+transfers, the channel.  A command issued at time ``t`` starts when the
+resources become free and the caller's clock advances to its completion
+time.  Running callers in ascending-clock order (see
+:class:`repro.tpcc.driver.Driver`) makes reservations approximately
+time-ordered, which is accurate enough to reproduce contention effects while
+staying simple and fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SimClock:
+    """A monotonically advancing virtual clock (microseconds).
+
+    The clock only moves forward: :meth:`advance_to` with an earlier time is
+    a no-op.  It records the furthest point in virtual time any caller has
+    reached, which the driver uses as the experiment's wall-clock.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in microseconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> float:
+        """Move the clock to ``t`` if that is later than now; return now."""
+        if t > self._now:
+            self._now = t
+        return self._now
+
+    def advance_by(self, dt: float) -> float:
+        """Move the clock forward by ``dt`` microseconds; return now."""
+        if dt < 0:
+            raise ValueError("cannot advance the clock backwards")
+        self._now += dt
+        return self._now
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.1f}us)"
+
+
+#: reservations ending this far before a new request's issue time are
+#: forgotten (bounds memory; callers' clocks never drift further apart).
+_PRUNE_HORIZON_US = 10_000_000.0
+
+
+@dataclass
+class ResourceTimeline:
+    """Occupancy timeline of one serially-used resource (a die or channel).
+
+    The resource serves one operation at a time.  :meth:`reserve` is
+    *gap-filling*: a request issued at time *t* takes the first idle
+    interval of sufficient length at or after *t*, even if later
+    reservations already exist — like a command queue whose controller
+    starts whatever is ready when the resource idles.  (A purely
+    append-only timeline would let one caller's far-future reservation
+    block everyone's earlier idle time, which no real device does.)
+    Total busy time accumulates for utilization reporting.
+    """
+
+    name: str = ""
+    busy_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        self._intervals: list[tuple[float, float]] = []  # sorted, disjoint
+
+    @property
+    def available_at(self) -> float:
+        """End of the last reservation (0.0 when never used)."""
+        return self._intervals[-1][1] if self._intervals else 0.0
+
+    def reserve(self, earliest: float, duration: float) -> tuple[float, float]:
+        """Reserve ``duration`` us starting no earlier than ``earliest``.
+
+        Returns ``(start, end)`` of the granted slot — the first gap that
+        fits."""
+        if duration < 0:
+            raise ValueError("duration must be >= 0")
+        self._prune(earliest)
+        start = self._find_gap(earliest, duration)
+        end = start + duration
+        if duration > 0:
+            self._insert(start, end)
+        self.busy_us += duration
+        return start, end
+
+    def peek_start(self, earliest: float) -> float:
+        """When a zero-length op issued at ``earliest`` would start."""
+        return self._find_gap(earliest, 0.0)
+
+    def _find_gap(self, earliest: float, duration: float) -> float:
+        import bisect
+
+        t = earliest
+        # first interval that could overlap [t, ...): binary search on end
+        index = bisect.bisect_right(self._intervals, (t, float("inf")))
+        if index > 0 and self._intervals[index - 1][1] > t:
+            index -= 1
+        for s, e in self._intervals[index:]:
+            if e <= t:
+                continue
+            # a gap fits when it holds the duration; zero-length requests
+            # need an instant not inside (or at the start of) a busy slot
+            if s - t >= duration and (duration > 0 or s > t):
+                return t
+            t = e
+        return t
+
+    def _insert(self, start: float, end: float) -> None:
+        import bisect
+
+        index = bisect.bisect_left(self._intervals, (start, end))
+        self._intervals.insert(index, (start, end))
+
+    def _prune(self, earliest: float) -> None:
+        cutoff = earliest - _PRUNE_HORIZON_US
+        if self._intervals and self._intervals[0][1] < cutoff:
+            self._intervals = [iv for iv in self._intervals if iv[1] >= cutoff]
+
+    def utilization(self, horizon: float) -> float:
+        """Fraction of ``[0, horizon]`` this resource spent busy."""
+        if horizon <= 0:
+            return 0.0
+        return min(1.0, self.busy_us / horizon)

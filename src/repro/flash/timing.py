@@ -1,0 +1,63 @@
+"""NAND operation latency model.
+
+All times are virtual microseconds.  The defaults approximate the SLC-class
+NAND of the paper's era (EDBT 2015/2016 NoFTL hardware): reads are fast,
+programs several times slower, erases an order of magnitude slower again.
+The exact values matter less than their ratios — the reproduced effects
+(GC stealing device time, die parallelism) depend only on the relative cost
+of operations and on contention, not on absolute microseconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TimingModel:
+    """Latency parameters for native flash commands.
+
+    Attributes:
+        read_us: array-read time (cell array -> on-die page register).
+        program_us: program time (page register -> cell array).
+        erase_us: block erase time.
+        bus_us_per_page: channel occupancy to move one full page between
+            host and the on-die page register.
+        copyback_overhead_us: fixed extra cost of the internal copyback
+            command sequence (no bus transfer is needed).
+    """
+
+    read_us: float = 75.0
+    program_us: float = 500.0
+    erase_us: float = 2500.0
+    bus_us_per_page: float = 50.0
+    copyback_overhead_us: float = 5.0
+
+    def __post_init__(self) -> None:
+        for name in ("read_us", "program_us", "erase_us", "bus_us_per_page", "copyback_overhead_us"):
+            if getattr(self, name) < 0:
+                raise ValueError(f"timing field {name!r} must be >= 0")
+
+    @property
+    def copyback_us(self) -> float:
+        """Die occupancy of one COPYBACK (internal read + program, no bus)."""
+        return self.read_us + self.program_us + self.copyback_overhead_us
+
+    def bus_us(self, nbytes: int, page_size: int) -> float:
+        """Channel occupancy to transfer ``nbytes`` of a ``page_size`` page.
+
+        Partial-page transfers (e.g. metadata-only reads) occupy the channel
+        proportionally; a zero-byte transfer is free.
+        """
+        if nbytes <= 0:
+            return 0.0
+        return self.bus_us_per_page * min(1.0, nbytes / page_size)
+
+
+#: Timing model used by the paper-scale experiments.
+DEFAULT_TIMING = TimingModel()
+
+
+def instant_timing() -> TimingModel:
+    """A zero-latency model, useful for functional tests."""
+    return TimingModel(read_us=0.0, program_us=0.0, erase_us=0.0, bus_us_per_page=0.0, copyback_overhead_us=0.0)

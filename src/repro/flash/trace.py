@@ -1,0 +1,156 @@
+"""Flash command tracing: see exactly what hits the device, and when.
+
+Wraps a :class:`~repro.flash.device.FlashDevice` so every native command
+is appended to a bounded ring buffer of :class:`TraceEvent` records.  The
+trace answers the questions that matter when debugging placement or GC
+behaviour — *which dies served whom*, *what occupied this die during that
+latency spike*, *how bursty were the arrivals* — without touching the
+device's own accounting.
+
+Usage::
+
+    tracer = FlashTracer.attach(device, capacity=10_000)
+    ...run workload...
+    for event in tracer.between(1_000_000, 1_050_000):
+        print(event)
+    print(tracer.summary())
+    tracer.detach()
+"""
+
+from __future__ import annotations
+
+from collections import Counter, deque
+from dataclasses import dataclass
+
+from repro.flash.device import FlashDevice
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One traced flash command."""
+
+    op: str
+    die: int
+    block: int
+    page: int
+    issue_us: float
+    start_us: float
+    end_us: float
+
+    @property
+    def queue_us(self) -> float:
+        """Time spent waiting before execution began."""
+        return max(0.0, self.start_us - self.issue_us)
+
+    @property
+    def service_us(self) -> float:
+        """Execution time."""
+        return self.end_us - self.start_us
+
+    def __str__(self) -> str:
+        return (
+            f"[{self.issue_us:12.1f}] {self.op:<13} d{self.die}/b{self.block}/p{self.page}"
+            f" start+{self.queue_us:.0f}us dur={self.service_us:.0f}us"
+        )
+
+
+#: device methods wrapped by the tracer, with how to pull the page address
+_TRACED_OPS = ("read_page", "read_metadata", "program_page", "erase_block", "copyback")
+
+
+class FlashTracer:
+    """Bounded ring-buffer trace of native flash commands.
+
+    Create via :meth:`attach`; call :meth:`detach` to restore the device's
+    original methods.  Tracing is reentrant-safe but not thread-safe (the
+    simulator is single-threaded by design).
+    """
+
+    def __init__(self, device: FlashDevice, capacity: int = 100_000) -> None:
+        if capacity < 1:
+            raise ValueError("trace capacity must be positive")
+        self.device = device
+        self.events: deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self._originals: dict[str, object] = {}
+        self._attached = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def attach(cls, device: FlashDevice, capacity: int = 100_000) -> "FlashTracer":
+        """Create a tracer and hook it into ``device``."""
+        tracer = cls(device, capacity=capacity)
+        tracer._hook()
+        return tracer
+
+    def _hook(self) -> None:
+        if self._attached:
+            raise RuntimeError("tracer already attached")
+        for name in _TRACED_OPS:
+            original = getattr(self.device, name)
+            self._originals[name] = original
+            setattr(self.device, name, self._wrap(name, original))
+        self._attached = True
+
+    def detach(self) -> None:
+        """Restore the device's un-traced methods."""
+        for name, original in self._originals.items():
+            setattr(self.device, name, original)
+        self._originals.clear()
+        self._attached = False
+
+    def _wrap(self, name: str, original):
+        def traced(address, *args, **kwargs):
+            issue = kwargs.get("at")
+            if issue is None:
+                issue = self.device.clock.now
+            result = original(address, *args, **kwargs)
+            if len(self.events) == self.events.maxlen:
+                self.dropped += 1
+            self.events.append(
+                TraceEvent(
+                    op=name,
+                    die=address.die,
+                    block=address.block,
+                    page=getattr(address, "page", -1),
+                    issue_us=issue,
+                    start_us=result.start_us,
+                    end_us=result.end_us,
+                )
+            )
+            return result
+
+        return traced
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def between(self, start_us: float, end_us: float) -> list[TraceEvent]:
+        """Events whose execution overlaps ``[start_us, end_us]``."""
+        return [e for e in self.events if e.end_us >= start_us and e.start_us <= end_us]
+
+    def on_die(self, die: int) -> list[TraceEvent]:
+        """Events executed on ``die``."""
+        return [e for e in self.events if e.die == die]
+
+    def slowest(self, n: int = 10) -> list[TraceEvent]:
+        """The ``n`` events with the longest queueing delay."""
+        return sorted(self.events, key=lambda e: e.queue_us, reverse=True)[:n]
+
+    def summary(self) -> dict[str, object]:
+        """Counts per op, busiest die, and mean queueing delay."""
+        ops = Counter(e.op for e in self.events)
+        dies = Counter(e.die for e in self.events)
+        total_queue = sum(e.queue_us for e in self.events)
+        return {
+            "events": len(self.events),
+            "dropped": self.dropped,
+            "ops": dict(ops),
+            "busiest_die": dies.most_common(1)[0][0] if dies else None,
+            "mean_queue_us": total_queue / len(self.events) if self.events else 0.0,
+        }

@@ -1,0 +1,27 @@
+"""Baseline FTL-based SSD (the architecture the paper argues against).
+
+Provides the legacy block-device abstraction over native flash: page-level
+address mapping, device-side garbage collection and wear levelling with no
+knowledge of the stored data, and (optionally, via :class:`DFTL`) the
+resource limits of an embedded controller.
+"""
+
+from repro.ftl.blockdevice import BlockDevice, DeviceFullError
+from repro.ftl.dftl import DFTL
+from repro.ftl.hotcold import HotColdFTL, UpdateFrequencySketch
+from repro.ftl.page_mapping import PageMappingFTL
+from repro.ftl.stats import ManagementStats
+
+#: Backwards-compatible alias used in the top-level API.
+DFTLDevice = DFTL
+
+__all__ = [
+    "BlockDevice",
+    "DFTL",
+    "DFTLDevice",
+    "DeviceFullError",
+    "HotColdFTL",
+    "ManagementStats",
+    "PageMappingFTL",
+    "UpdateFrequencySketch",
+]

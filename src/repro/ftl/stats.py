@@ -1,0 +1,10 @@
+"""Management-layer statistics (re-exported from :mod:`repro.mapping.stats`).
+
+The counters live with the shared flash-management machinery so both the
+FTL and NoFTL layers record them identically; this module keeps the
+historically natural import path ``repro.ftl.stats`` working.
+"""
+
+from repro.mapping.stats import ManagementStats
+
+__all__ = ["ManagementStats"]

@@ -1,0 +1,31 @@
+"""Shared flash-management primitives (valid-page bookkeeping, GC policies).
+
+Used by both the baseline on-device FTL (:mod:`repro.ftl`) and the paper's
+host-side NoFTL (:mod:`repro.core`) so the comparison between them isolates
+*where* management runs and *what it knows* — not incidental implementation
+differences.
+"""
+
+from repro.mapping.blockinfo import BlockInfo, BlockState, BookkeepingError, DieBookkeeping
+from repro.mapping.engine import FlashSpaceEngine, SpaceFullError
+from repro.mapping.policies import (
+    POLICIES,
+    choose_victim,
+    choose_victim_cost_benefit,
+    choose_victim_greedy,
+)
+from repro.mapping.stats import ManagementStats
+
+__all__ = [
+    "BlockInfo",
+    "BlockState",
+    "BookkeepingError",
+    "DieBookkeeping",
+    "FlashSpaceEngine",
+    "ManagementStats",
+    "POLICIES",
+    "SpaceFullError",
+    "choose_victim",
+    "choose_victim_cost_benefit",
+    "choose_victim_greedy",
+]

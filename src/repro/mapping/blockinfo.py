@@ -1,0 +1,195 @@
+"""Valid-page bookkeeping for flash management layers.
+
+Real NAND does not know which of its programmed pages still hold live data —
+that knowledge belongs to whoever owns the address translation.  Both
+management layers in this reproduction (the on-device FTL of
+:mod:`repro.ftl` and the host-side NoFTL of :mod:`repro.core`) therefore
+share these primitives:
+
+* :class:`BlockInfo` — per-erase-block state: how many pages are written,
+  which of them are still valid, and the block's lifecycle state;
+* :class:`DieBookkeeping` — per-die collections of blocks by state plus the
+  free-block pool.
+
+Keeping this in one place is not just code hygiene: it makes the FTL/NoFTL
+comparison honest, because both layers run the *same* bookkeeping and differ
+only where the paper says they differ (who runs it, with what knowledge, and
+over which dies).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+
+class BlockState(enum.Enum):
+    """Lifecycle of an erase block as seen by a management layer."""
+
+    FREE = "free"  #: erased, not yet allocated to a write frontier
+    OPEN = "open"  #: currently being filled by a write frontier
+    FULL = "full"  #: fully programmed; GC candidate once pages invalidate
+    BAD = "bad"  #: retired
+
+
+class BookkeepingError(Exception):
+    """Inconsistent valid-page bookkeeping (a management-layer bug)."""
+
+
+@dataclass
+class BlockInfo:
+    """Management-layer view of one erase block.
+
+    Attributes:
+        die: global die index.
+        block: die-local block index.
+        state: lifecycle state.
+        valid: per-page validity bitmap (True = page holds live data).
+        written: number of pages programmed since the last erase.
+        last_write_us: virtual time of the most recent program into this
+            block (used by cost-benefit GC as the block's "age").
+    """
+
+    die: int
+    block: int
+    pages_per_block: int
+    state: BlockState = BlockState.FREE
+    valid: list[bool] = field(default_factory=list)
+    written: int = 0
+    last_write_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if not self.valid:
+            self.valid = [False] * self.pages_per_block
+
+    @property
+    def valid_count(self) -> int:
+        """Number of live pages in the block."""
+        return sum(self.valid)
+
+    @property
+    def invalid_count(self) -> int:
+        """Number of dead (written but superseded) pages."""
+        return self.written - self.valid_count
+
+    @property
+    def is_full(self) -> bool:
+        """Whether every page has been written."""
+        return self.written >= self.pages_per_block
+
+    def note_write(self, page: int, now_us: float) -> None:
+        """Record that ``page`` was just programmed with live data."""
+        if page != self.written:
+            raise BookkeepingError(
+                f"block d{self.die}/b{self.block}: wrote page {page}, expected {self.written}"
+            )
+        if self.valid[page]:
+            raise BookkeepingError(f"page {page} already valid in d{self.die}/b{self.block}")
+        self.valid[page] = True
+        self.written += 1
+        self.last_write_us = now_us
+        if self.is_full:
+            self.state = BlockState.FULL
+
+    def invalidate(self, page: int) -> None:
+        """Record that the live data at ``page`` was superseded elsewhere."""
+        if not self.valid[page]:
+            raise BookkeepingError(
+                f"double invalidate of page {page} in d{self.die}/b{self.block}"
+            )
+        self.valid[page] = False
+
+    def valid_pages(self) -> list[int]:
+        """Indices of pages that still hold live data."""
+        return [i for i, v in enumerate(self.valid) if v]
+
+    def reset_after_erase(self) -> None:
+        """Return the block to the FREE state after an erase."""
+        self.valid = [False] * self.pages_per_block
+        self.written = 0
+        self.state = BlockState.FREE
+
+
+class DieBookkeeping:
+    """All block bookkeeping for one die.
+
+    Maintains the free-block pool and exposes the block sets GC policies
+    scan.  The management layer is responsible for calling
+    :meth:`take_free_block` / :meth:`return_erased_block` around its write
+    frontiers and GC.
+    """
+
+    def __init__(self, die: int, blocks_per_die: int, pages_per_block: int) -> None:
+        self.die = die
+        self.blocks: list[BlockInfo] = [
+            BlockInfo(die=die, block=b, pages_per_block=pages_per_block)
+            for b in range(blocks_per_die)
+        ]
+        self._free: list[int] = list(range(blocks_per_die - 1, -1, -1))
+
+    @property
+    def free_count(self) -> int:
+        """Number of blocks in the free pool."""
+        return len(self._free)
+
+    def mark_bad(self, block: int) -> None:
+        """Retire a block; it leaves the free pool permanently."""
+        info = self.blocks[block]
+        info.state = BlockState.BAD
+        if block in self._free:
+            self._free.remove(block)
+
+    def take_free_block(self) -> BlockInfo:
+        """Pop a free block and mark it OPEN (for a write frontier)."""
+        while self._free:
+            block = self._free.pop()
+            info = self.blocks[block]
+            if info.state is BlockState.FREE:
+                info.state = BlockState.OPEN
+                return info
+        raise BookkeepingError(f"die {self.die}: out of free blocks")
+
+    def reset_all(self) -> None:
+        """Forget all state: every good block returns to the free pool.
+
+        Used by crash recovery, which rebuilds validity from the flash
+        itself; bad-block markings are preserved (they reflect hardware).
+        """
+        bad = {b.block for b in self.blocks if b.state is BlockState.BAD}
+        for info in self.blocks:
+            if info.block not in bad:
+                info.reset_after_erase()
+        self._free = [b for b in range(len(self.blocks) - 1, -1, -1) if b not in bad]
+
+    def take_block(self, block: int) -> BlockInfo:
+        """Pop a *specific* free block (used by the wear leveler)."""
+        info = self.blocks[block]
+        if info.state is not BlockState.FREE or block not in self._free:
+            raise BookkeepingError(f"die {self.die}: block {block} is not free")
+        self._free.remove(block)
+        info.state = BlockState.OPEN
+        return info
+
+    def free_blocks(self) -> list[BlockInfo]:
+        """BlockInfo records currently in the free pool."""
+        return [self.blocks[b] for b in self._free]
+
+    def return_erased_block(self, block: int) -> None:
+        """Put an erased block back into the free pool."""
+        info = self.blocks[block]
+        if info.state is BlockState.BAD:
+            return
+        info.reset_after_erase()
+        self._free.append(block)
+
+    def gc_candidates(self) -> list[BlockInfo]:
+        """FULL blocks with at least one invalid page (erasable after GC)."""
+        return [
+            b
+            for b in self.blocks
+            if b.state is BlockState.FULL and b.invalid_count > 0
+        ]
+
+    def total_valid_pages(self) -> int:
+        """Live pages across the die (for utilization accounting)."""
+        return sum(b.valid_count for b in self.blocks)

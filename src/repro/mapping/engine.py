@@ -1,0 +1,649 @@
+"""The flash space engine: out-of-place writes, GC and WL over a die set.
+
+:class:`FlashSpaceEngine` is the machinery both management layers share —
+write frontiers, logical-to-physical mapping, garbage collection and static
+wear levelling — parameterised by the *set of dies it owns*:
+
+* the baseline FTL (:class:`repro.ftl.page_mapping.PageMappingFTL`) runs
+  ONE engine over ALL dies: every object's pages mix in the same blocks,
+  and GC victims carry whatever cocktail of hot and cold data happened to
+  land together;
+* NoFTL (:mod:`repro.core`) runs one engine PER REGION over that region's
+  dies: blocks only ever contain pages of objects the DBA grouped
+  together, so victim selection sees homogeneous data.
+
+That parameterisation *is* the paper's experiment; everything else is held
+constant by construction.
+
+The engine also supports **growing and shrinking its die set** at runtime
+(the paper: "the number of dies in each region ... is dynamic and can
+change over time"), relocating live data off a die before releasing it.
+"""
+
+from __future__ import annotations
+
+from repro.flash.address import PhysicalBlockAddress, PhysicalPageAddress
+from repro.flash.block import PageMetadata
+from repro.flash.device import FlashDevice
+from repro.flash.errors import CopybackError
+from repro.mapping.stats import ManagementStats
+from repro.mapping.blockinfo import BlockInfo, BlockState, DieBookkeeping
+from repro.mapping.policies import choose_victim
+
+
+class SpaceFullError(Exception):
+    """The engine's dies hold only valid data; nothing can be reclaimed."""
+
+
+class FlashSpaceEngine:
+    """Out-of-place page store over an explicit set of flash dies.
+
+    Logical pages are plain integer keys chosen by the caller; the engine
+    maps them to physical pages, keeps them alive across GC/WL, and charges
+    all background work to the owning dies' timelines.
+
+    Args:
+        device: shared native flash device.
+        dies: global die indices this engine may use (its exclusive
+            property; die sets of different engines must not overlap).
+        books: per-die bookkeeping, keyed by die index.  Passing these in
+            (rather than creating them) lets dies migrate between engines
+            with their wear history intact.
+        stats: counter sink (one per management layer or per region).
+        gc_policy: ``"greedy"`` or ``"cost_benefit"``.
+        gc_trigger_free_blocks / gc_target_free_blocks: per-die watermarks.
+        wear_level_threshold: per-die erase-count spread triggering static
+            WL, or ``None`` to disable.
+        wl_check_interval_erases: WL evaluation cadence, in GC erases.
+        obj_id: stamped into page metadata (regions use their region id).
+        read_disturb_threshold: reads a block may absorb between erases
+            before its live pages are refreshed (relocated) — real NAND
+            loses data to read disturb; ``None`` disables the patrol.
+    """
+
+    def __init__(
+        self,
+        device: FlashDevice,
+        dies: list[int],
+        books: dict[int, DieBookkeeping],
+        stats: ManagementStats,
+        gc_policy: str = "greedy",
+        gc_trigger_free_blocks: int = 2,
+        gc_target_free_blocks: int = 3,
+        wear_level_threshold: int | None = None,
+        wl_check_interval_erases: int = 64,
+        obj_id: int | None = None,
+        group_stripe_width: int = 8,
+        read_disturb_threshold: int | None = None,
+    ) -> None:
+        if not dies:
+            raise ValueError("an engine needs at least one die")
+        if gc_trigger_free_blocks < 2:
+            raise ValueError("gc_trigger_free_blocks must be >= 2 (GC needs a spare block)")
+        if gc_target_free_blocks < gc_trigger_free_blocks:
+            raise ValueError("gc_target_free_blocks must be >= gc_trigger_free_blocks")
+        missing = [d for d in dies if d not in books]
+        if missing:
+            raise ValueError(f"no bookkeeping passed for dies {missing}")
+        self.device = device
+        self.geometry = device.geometry
+        self.dies: list[int] = list(dies)
+        self.books = books
+        self.stats = stats
+        self.gc_policy = gc_policy
+        self.gc_trigger_free_blocks = gc_trigger_free_blocks
+        self.gc_target_free_blocks = gc_target_free_blocks
+        self.wear_level_threshold = wear_level_threshold
+        self.wl_check_interval_erases = wl_check_interval_erases
+        self.obj_id = obj_id
+        self.group_stripe_width = max(1, group_stripe_width)
+        self.read_disturb_threshold = read_disturb_threshold
+
+        self._map: dict[int, int] = {}  # logical key -> packed ppa
+        self._rmap: dict[int, int] = {}  # packed ppa -> logical key
+        self._user_frontier: dict[int, BlockInfo | None] = {d: None for d in dies}
+        self._gc_frontier: dict[int, BlockInfo | None] = {d: None for d in dies}
+        self._group_frontiers: dict[int, list[BlockInfo | None]] = {}
+        self._group_rr: dict[int, int] = {}
+        self._group_cursor: dict[int, int] = {}
+        self._rr_index = 0
+        self._erases_since_wl_check = 0
+
+    # ------------------------------------------------------------------
+    # Capacity accounting
+    # ------------------------------------------------------------------
+    @property
+    def reserve_blocks_per_die(self) -> int:
+        """Blocks a die must keep for frontiers + GC headroom."""
+        return self.gc_target_free_blocks + 2
+
+    def physical_pages(self) -> int:
+        """Raw good pages over the engine's dies."""
+        per_block = self.geometry.pages_per_block
+        return sum(
+            sum(1 for b in self.books[d].blocks if b.state is not BlockState.BAD) * per_block
+            for d in self.dies
+        )
+
+    def safe_capacity_pages(self) -> int:
+        """Pages that may safely hold valid data (reserve subtracted)."""
+        per_block = self.geometry.pages_per_block
+        reserve = len(self.dies) * self.reserve_blocks_per_die * per_block
+        return max(0, self.physical_pages() - reserve)
+
+    def live_pages(self) -> int:
+        """Logical pages currently mapped."""
+        return len(self._map)
+
+    def contains(self, key: int) -> bool:
+        """Whether logical page ``key`` is currently mapped."""
+        return key in self._map
+
+    def keys(self) -> list[int]:
+        """All mapped logical keys (sorted, for deterministic iteration)."""
+        return sorted(self._map)
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    def read(self, key: int, at: float) -> tuple[bytes, float]:
+        """Read logical page ``key``; returns ``(data, completion_us)``."""
+        packed = self._map.get(key)
+        if packed is None:
+            raise KeyError(f"logical page {key} is not mapped")
+        ppa = PhysicalPageAddress.from_int(packed, self.geometry)
+        result = self.device.read_page(ppa, at=at)
+        if self.read_disturb_threshold is not None:
+            self._maybe_refresh(ppa, result.end_us)
+        return result.data, result.end_us
+
+    def _maybe_refresh(self, ppa: PhysicalPageAddress, at: float) -> None:
+        """Refresh a block whose read count crossed the disturb threshold.
+
+        Live pages are relocated (the refresh) and the block erased —
+        charged to the device timelines asynchronously, like GC.  Counts
+        as wear-levelling work in the statistics.
+        """
+        block = self.device.dies[ppa.die].blocks[ppa.block]
+        if block.reads_since_erase < self.read_disturb_threshold:
+            return
+        info = self.books[ppa.die].blocks[ppa.block]
+        if info.state is not BlockState.FULL:
+            return  # open frontiers refresh naturally when sealed/collected
+        moved = 0
+        t = at
+        for page in info.valid_pages():
+            t = self._relocate(PhysicalPageAddress(ppa.die, ppa.block, page), t)
+            moved += 1
+        self.stats.wl_moves += moved
+        self.stats.gc_copybacks -= moved  # relocations above counted as GC
+        self.device.erase_block(PhysicalBlockAddress(ppa.die, ppa.block), at=t)
+        self.stats.wl_erases += 1
+        self._retire_or_recycle(ppa.die, ppa.block)
+
+    def write(self, key: int, data: bytes, at: float, group: int | None = None) -> float:
+        """Write logical page ``key`` out-of-place; returns completion time.
+
+        ``group`` is the caller's placement hint — the paper's "physical
+        organization via logical structures".  Writes of the same group
+        fill dedicated erase blocks (block-granular striping across the
+        engine's dies), so objects with different lifetimes never share a
+        block.  Without a group, writes interleave in arrival order on
+        per-die frontiers — the knowledge-free placement an FTL performs
+        and the paper's *traditional* baseline.
+        """
+        if group is None:
+            die_index = self._pick_die()
+            at = self._collect_if_needed(die_index, at)
+            frontier = self._frontier(self._user_frontier, die_index)
+        else:
+            frontier, at = self._group_frontier(group, at)
+            die_index = frontier.die
+        page = frontier.written
+        ppa = PhysicalPageAddress(die_index, frontier.block, page)
+        meta = PageMetadata(lpn=key, seq=self.device.next_sequence(), obj_id=self.obj_id)
+        result = self.device.program_page(ppa, data, meta, at=at)
+        self.invalidate(key)
+        self._map_page(key, ppa, frontier, page, result.end_us)
+        if frontier.is_full and group is None:
+            self._user_frontier[die_index] = None
+        return result.end_us
+
+    def write_atomic(
+        self, entries: list[tuple[int, bytes]], at: float, group: int | None = None
+    ) -> float:
+        """Write several logical pages as one all-or-nothing unit.
+
+        The paper's NoFTL advantage (iv): out-of-place updates give atomic
+        multi-page writes *without additional overhead* — no journal, no
+        double write.  Every page of the batch is programmed normally, its
+        OOB metadata carrying ``(atomic id, batch size)``; the old versions
+        are invalidated only after the last program completes.  Crash
+        semantics are enforced by recovery (:meth:`rebuild_from_flash`): a
+        batch whose page count on flash is short of its recorded size is
+        discarded wholesale, resurrecting the previous versions.
+        """
+        if not entries:
+            raise ValueError("atomic write needs at least one page")
+        if len({key for key, __ in entries}) != len(entries):
+            raise ValueError("atomic write cannot contain one key twice")
+        atomic_id = self.device.next_sequence()
+        staged: list[tuple[int, PhysicalPageAddress, BlockInfo, int, float]] = []
+        for key, data in entries:
+            if group is None:
+                die_index = self._pick_die()
+                at = self._collect_if_needed(die_index, at)
+                frontier = self._frontier(self._user_frontier, die_index)
+            else:
+                frontier, at = self._group_frontier(group, at)
+                die_index = frontier.die
+            page = frontier.written
+            ppa = PhysicalPageAddress(die_index, frontier.block, page)
+            meta = PageMetadata(
+                lpn=key,
+                seq=self.device.next_sequence(),
+                obj_id=self.obj_id,
+                extra={"atomic_id": atomic_id, "atomic_size": len(entries)},
+            )
+            result = self.device.program_page(ppa, data, meta, at=at)
+            at = result.end_us
+            frontier.note_write(page, at)
+            if frontier.is_full and group is None:
+                self._user_frontier[die_index] = None  # stripes refill lazily
+            staged.append((key, ppa, frontier, page, at))
+        # "commit": flip all mappings only after the last page is on flash
+        for key, ppa, __, ___, ____ in staged:
+            self.invalidate(key)
+            packed = ppa.to_int(self.geometry)
+            self._map[key] = packed
+            self._rmap[packed] = key
+        return at
+
+    def invalidate(self, key: int) -> None:
+        """Drop the mapping for ``key`` (its physical page becomes garbage)."""
+        packed = self._map.pop(key, None)
+        if packed is None:
+            return
+        old = PhysicalPageAddress.from_int(packed, self.geometry)
+        self.books[old.die].blocks[old.block].invalidate(old.page)
+        del self._rmap[packed]
+
+    # ------------------------------------------------------------------
+    # Die selection & frontiers
+    # ------------------------------------------------------------------
+    def _pick_die(self) -> int:
+        """Round-robin striping with dynamic skip of exhausted dies."""
+        n = len(self.dies)
+        for offset in range(n):
+            die = self.dies[(self._rr_index + offset) % n]
+            books = self.books[die]
+            if books.free_count > 1 or books.gc_candidates():
+                self._rr_index = (self._rr_index + offset + 1) % n
+                return die
+        raise SpaceFullError(
+            f"engine over dies {self.dies}: every die is full of valid data"
+        )
+
+    def _frontier(self, frontiers: dict[int, BlockInfo | None], die_index: int) -> BlockInfo:
+        frontier = frontiers.get(die_index)
+        if frontier is None or frontier.is_full:
+            frontier = self.books[die_index].take_free_block()
+            frontiers[die_index] = frontier
+        return frontier
+
+    def _group_frontier(self, group: int, at: float) -> tuple[BlockInfo, float]:
+        """Active erase block of a placement group.
+
+        Each group keeps up to ``group_stripe_width`` open blocks on
+        distinct dies and rotates through them page by page, so even a
+        burst of writes to one object spreads over several dies ("the
+        distribution over available Flash data channels, dies or planes
+        allows for better I/O parallelism").  Blocks stay object-pure; when
+        one fills, its replacement comes from the next die in round-robin
+        order."""
+        stripe = self._group_frontiers.get(group)
+        if stripe is None:
+            width = min(self.group_stripe_width, len(self.dies))
+            stripe = [None] * width
+            self._group_frontiers[group] = stripe
+            self._group_rr[group] = group % len(self.dies)
+            self._group_cursor[group] = 0
+        width = len(stripe)
+        for attempt in range(width):
+            cursor = self._group_cursor[group]
+            self._group_cursor[group] = (cursor + 1) % width
+            frontier = stripe[cursor]
+            if frontier is not None and not frontier.is_full:
+                return frontier, at
+            frontier, at = self._take_group_block(group, at)
+            if frontier is not None:
+                stripe[cursor] = frontier
+                return frontier, at
+        raise SpaceFullError(
+            f"engine over dies {self.dies}: every die is full of valid data"
+        )
+
+    def _take_group_block(self, group: int, at: float) -> tuple[BlockInfo | None, float]:
+        """Allocate a fresh block for a group from the next viable die."""
+        n = len(self.dies)
+        start = self._group_rr[group]
+        for offset in range(n):
+            die_index = self.dies[(start + offset) % n]
+            books = self.books[die_index]
+            if books.free_count > 1 or books.gc_candidates():
+                at = self._collect_if_needed(die_index, at)
+                self._group_rr[group] = (start + offset + 1) % n
+                return books.take_free_block(), at
+        return None, at
+
+    def _map_page(
+        self, key: int, ppa: PhysicalPageAddress, frontier: BlockInfo, page: int, now_us: float
+    ) -> None:
+        frontier.note_write(page, now_us)
+        packed = ppa.to_int(self.geometry)
+        self._map[key] = packed
+        self._rmap[packed] = key
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def _collect_if_needed(self, die_index: int, at: float) -> float:
+        """Reclaim space on ``die_index`` when its free pool hits the watermark.
+
+        GC work always reserves device time (it contends with everything
+        else on the die), but it stalls the *calling* operation only when
+        the pool is critical (one free block left) — otherwise it runs as
+        background work, the way both FTL firmware and a NoFTL storage
+        manager overlap GC with foreground traffic.
+        """
+        books = self.books[die_index]
+        if books.free_count > self.gc_trigger_free_blocks:
+            return at
+        blocking = books.free_count <= 1
+        t = at
+        while books.free_count < self.gc_target_free_blocks:
+            victim = choose_victim(self.gc_policy, books.gc_candidates(), t)
+            if victim is None:
+                if books.free_count == 0:
+                    raise SpaceFullError(
+                        f"die {die_index}: no free blocks and nothing to reclaim"
+                    )
+                break
+            t = self._collect_block(victim, t)
+        t = self._maybe_wear_level(t)
+        return t if blocking else at
+
+    def _collect_block(self, victim: BlockInfo, at: float) -> float:
+        die_index = victim.die
+        self.stats.gc_victim_valid_pages += victim.valid_count
+        for page in victim.valid_pages():
+            src = PhysicalPageAddress(die_index, victim.block, page)
+            at = self._relocate(src, at)
+        result = self.device.erase_block(PhysicalBlockAddress(die_index, victim.block), at=at)
+        self.stats.gc_erases += 1
+        self._erases_since_wl_check += 1
+        self._retire_or_recycle(die_index, victim.block)
+        return result.end_us
+
+    def _retire_or_recycle(self, die_index: int, block: int) -> None:
+        """After an erase: recycle the block, or retire it if it wore out.
+
+        A block whose erase pushed it past rated endurance is bad on the
+        *device*; the management layer must mirror that or the next program
+        into it would fail."""
+        if self.device.dies[die_index].blocks[block].is_bad:
+            self.books[die_index].blocks[block].reset_after_erase()
+            self.books[die_index].mark_bad(block)
+        else:
+            self.books[die_index].return_erased_block(block)
+
+    def _relocate(self, src: PhysicalPageAddress, at: float) -> float:
+        """Move one live page to its die's GC frontier (copyback preferred).
+
+        The OOB metadata travels unchanged — crucially including the write
+        sequence number: relocation moves a *version*, it does not create
+        one.  (A refreshed sequence number could outrank a later committed
+        write at recovery time.)"""
+        die_index = src.die
+        frontier = self._frontier(self._gc_frontier, die_index)
+        page = frontier.written
+        dst = PhysicalPageAddress(die_index, frontier.block, page)
+        key = self._rmap[src.to_int(self.geometry)]
+        try:
+            result = self.device.copyback(src, dst, at=at)  # carries source OOB
+            self.stats.gc_copybacks += 1
+        except CopybackError:
+            read = self.device.read_page(src, at=at)
+            result = self.device.program_page(dst, read.data, read.metadata, at=read.end_us)
+            self.stats.gc_reads += 1
+            self.stats.gc_programs += 1
+        self._unmap_physical(src)
+        self._map_page(key, dst, frontier, page, result.end_us)
+        if frontier.is_full:
+            self._gc_frontier[die_index] = None
+        return result.end_us
+
+    def _unmap_physical(self, ppa: PhysicalPageAddress) -> None:
+        packed = ppa.to_int(self.geometry)
+        self.books[ppa.die].blocks[ppa.block].invalidate(ppa.page)
+        del self._rmap[packed]
+
+    # ------------------------------------------------------------------
+    # Static wear levelling (within the engine's die set)
+    # ------------------------------------------------------------------
+    def _maybe_wear_level(self, at: float) -> float:
+        if self.wear_level_threshold is None:
+            return at
+        if self._erases_since_wl_check < self.wl_check_interval_erases:
+            return at
+        self._erases_since_wl_check = 0
+        for die_index in self.dies:
+            at = self._wear_level_die(die_index, at)
+        return at
+
+    def _wear_level_die(self, die_index: int, at: float) -> float:
+        books = self.books[die_index]
+        die = self.device.dies[die_index]
+        frees = books.free_blocks()
+        if not frees:
+            return at
+        worn_free = max(frees, key=lambda b: die.blocks[b.block].erase_count)
+        fulls = [b for b in books.blocks if b.state is BlockState.FULL and b.valid_count > 0]
+        if not fulls:
+            return at
+        cold = min(fulls, key=lambda b: die.blocks[b.block].erase_count)
+        spread = die.blocks[worn_free.block].erase_count - die.blocks[cold.block].erase_count
+        if spread <= self.wear_level_threshold:
+            return at
+        target = books.take_block(worn_free.block)
+        page_out = 0
+        for page in cold.valid_pages():
+            src = PhysicalPageAddress(die_index, cold.block, page)
+            dst = PhysicalPageAddress(die_index, target.block, page_out)
+            key = self._rmap[src.to_int(self.geometry)]
+            try:
+                result = self.device.copyback(src, dst, at=at)  # carries source OOB
+            except CopybackError:
+                read = self.device.read_page(src, at=at)
+                result = self.device.program_page(dst, read.data, read.metadata, at=read.end_us)
+            at = result.end_us
+            self._unmap_physical(src)
+            self._map_page(key, dst, target, page_out, at)
+            page_out += 1
+            self.stats.wl_moves += 1
+        result = self.device.erase_block(PhysicalBlockAddress(die_index, cold.block), at=at)
+        self.stats.wl_erases += 1
+        self._retire_or_recycle(die_index, cold.block)
+        self._seal_partial_block(target)
+        return result.end_us
+
+    def _seal_partial_block(self, info: BlockInfo) -> None:
+        """Close a partially-filled relocation target (tail counts invalid)."""
+        if info.written > 0 and not info.is_full:
+            info.written = info.pages_per_block
+            info.state = BlockState.FULL
+
+    # ------------------------------------------------------------------
+    # Dynamic die membership
+    # ------------------------------------------------------------------
+    def add_die(self, die_index: int, books: DieBookkeeping) -> None:
+        """Adopt a die (and its wear history) into this engine."""
+        if die_index in self._user_frontier:
+            raise ValueError(f"die {die_index} already belongs to this engine")
+        self.dies.append(die_index)
+        self.books[die_index] = books
+        self._user_frontier[die_index] = None
+        self._gc_frontier[die_index] = None
+
+    def evacuate_die(self, die_index: int, at: float) -> tuple[DieBookkeeping, float]:
+        """Move all live data off ``die_index`` and release the die.
+
+        Relocation is cross-die (host read + program to the remaining
+        dies).  Returns the die's bookkeeping (to hand to another engine)
+        and the completion time.  The caller must ensure the remaining
+        dies have capacity for the evacuated data.
+        """
+        if die_index not in self._user_frontier:
+            raise ValueError(f"die {die_index} does not belong to this engine")
+        if len(self.dies) == 1:
+            raise ValueError("cannot evacuate the engine's last die")
+        self.dies.remove(die_index)
+        self._user_frontier.pop(die_index)
+        self._gc_frontier.pop(die_index)
+        for stripe in self._group_frontiers.values():
+            for i, frontier in enumerate(stripe):
+                if frontier is not None and frontier.die == die_index:
+                    stripe[i] = None
+        books = self.books.pop(die_index)
+        # relocate every live page to the remaining dies via normal writes
+        for info in books.blocks:
+            for page in list(info.valid_pages()):
+                src = PhysicalPageAddress(die_index, info.block, page)
+                packed = src.to_int(self.geometry)
+                key = self._rmap.pop(packed)
+                read = self.device.read_page(src, at=at)
+                self.stats.gc_reads += 1
+                info.invalidate(page)
+                del self._map[key]
+                at = self.write(key, read.data, read.end_us)
+                self.stats.gc_programs += 1
+        # erase everything the engine had written on the die
+        for info in books.blocks:
+            if info.state is BlockState.BAD:
+                continue
+            if info.written > 0:
+                result = self.device.erase_block(
+                    PhysicalBlockAddress(die_index, info.block), at=at
+                )
+                at = result.end_us
+                self.stats.gc_erases += 1
+                if self.device.dies[die_index].blocks[info.block].is_bad:
+                    info.reset_after_erase()
+                    books.mark_bad(info.block)
+                else:
+                    books.return_erased_block(info.block)
+            elif info.state is BlockState.OPEN:
+                books.return_erased_block(info.block)
+        return books, at
+
+    # ------------------------------------------------------------------
+    # Recovery
+    # ------------------------------------------------------------------
+    def rebuild_from_flash(self, at: float = 0.0) -> float:
+        """Reconstruct mapping and bookkeeping by scanning page metadata.
+
+        This is why the native interface exposes *handle Page Metadata*
+        (paper, Figure 1): the host's translation state is volatile, but
+        every programmed page carries its logical key and a write-sequence
+        number in the OOB area.  After a crash, a fresh engine over the
+        same dies scans each block's pages in order (stopping at the first
+        unprogrammed page — programming is sequential), keeps the
+        highest-sequence version of every key and marks everything else
+        invalid.  Partially written blocks are sealed.
+
+        The scan is charged as OOB reads on the device timelines, so
+        recovery time is measured rather than assumed.  Returns the
+        completion time.
+        """
+        self._map.clear()
+        self._rmap.clear()
+        self._user_frontier = {d: None for d in self.dies}
+        self._gc_frontier = {d: None for d in self.dies}
+        self._group_frontiers.clear()
+        self._group_rr.clear()
+        self._group_cursor.clear()
+        # pass 1 — scan every programmed page's OOB, collecting candidates
+        candidates: list[tuple[PhysicalPageAddress, int, int, int | None, int]] = []
+        atomic_seen: dict[int, int] = {}
+        for die_index in self.dies:
+            device_die = self.device.dies[die_index]
+            books = self.books[die_index]
+            books.reset_all()
+            for block_index, block in enumerate(device_die.blocks):
+                if block.is_bad:
+                    books.mark_bad(block_index)
+                    continue
+                if block.write_pointer == 0:
+                    continue
+                info = books.take_block(block_index)
+                for page in range(block.write_pointer):
+                    ppa = PhysicalPageAddress(die_index, block_index, page)
+                    result = self.device.read_metadata(ppa, at=at)
+                    at = result.end_us
+                    info.note_write(page, at)
+                    meta = result.metadata
+                    key = None if meta is None else meta.lpn
+                    mine = meta is not None and (
+                        self.obj_id is None or meta.obj_id == self.obj_id
+                    )
+                    if not mine or key is None:
+                        info.invalidate(page)
+                        continue
+                    atomic_id = meta.extra.get("atomic_id") if meta.extra else None
+                    atomic_size = meta.extra.get("atomic_size", 0) if meta.extra else 0
+                    if atomic_id is not None:
+                        atomic_seen[atomic_id] = atomic_seen.get(atomic_id, 0) + 1
+                    candidates.append((ppa, key, meta.seq, atomic_id, atomic_size))
+                self._seal_partial_block(info)
+
+        # pass 2 — a torn atomic batch (fewer pages on flash than its
+        # recorded size) never happened: drop all of its members
+        def torn(atomic_id: int | None, atomic_size: int) -> bool:
+            return atomic_id is not None and atomic_seen.get(atomic_id, 0) < atomic_size
+
+        # pass 3 — highest surviving sequence number wins per key
+        best_seq: dict[int, int] = {}
+        locations: dict[int, PhysicalPageAddress] = {}
+        for ppa, key, seq, atomic_id, atomic_size in candidates:
+            if torn(atomic_id, atomic_size):
+                continue
+            if key not in best_seq or seq > best_seq[key]:
+                best_seq[key] = seq
+                locations[key] = ppa
+
+        # pass 4 — every non-winner page becomes garbage
+        winners = {ppa for ppa in locations.values()}
+        for ppa, key, seq, atomic_id, atomic_size in candidates:
+            if ppa not in winners:
+                self.books[ppa.die].blocks[ppa.block].invalidate(ppa.page)
+        for key, ppa in locations.items():
+            packed = ppa.to_int(self.geometry)
+            self._map[key] = packed
+            self._rmap[packed] = key
+        return at
+
+    # ------------------------------------------------------------------
+    # Invariants
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Assert mapping/bookkeeping invariants (used by property tests)."""
+        seen: set[int] = set()
+        for key, packed in self._map.items():
+            assert packed not in seen, f"physical page shared by two keys: {packed}"
+            seen.add(packed)
+            assert self._rmap.get(packed) == key, f"rmap mismatch for key {key}"
+            ppa = PhysicalPageAddress.from_int(packed, self.geometry)
+            assert ppa.die in self.books, f"mapped page on foreign die: {ppa}"
+            info = self.books[ppa.die].blocks[ppa.block]
+            assert info.valid[ppa.page], f"mapped page not valid in bookkeeping: {ppa}"
+        assert seen == set(self._rmap), "rmap contains stale entries"

@@ -1,0 +1,77 @@
+"""Garbage-collection victim-selection policies.
+
+Both management layers use these policies; what differs between the paper's
+configurations is the *candidate set* they are applied to (whole device for
+the FTL, a single region's dies for NoFTL) — which is exactly the paper's
+point: region-local GC sees homogeneous data and picks better victims.
+
+Two classic policies are provided:
+
+* **greedy** — pick the block with the most invalid pages.  Minimises the
+  immediate copy cost; known to behave poorly when hot and cold data mix.
+* **cost-benefit** — Kawaguchi et al.'s ``benefit/cost = age * (1-u) / 2u``
+  score, which prefers old (cold) blocks even if they carry a few more
+  valid pages.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.mapping.blockinfo import BlockInfo
+
+
+def choose_victim_greedy(candidates: Iterable[BlockInfo]) -> BlockInfo | None:
+    """Return the candidate with the most invalid pages, or ``None``.
+
+    Ties break toward the lower (die, block) address for determinism.
+    """
+    best: BlockInfo | None = None
+    best_key: tuple[int, int, int] | None = None
+    for info in candidates:
+        key = (-info.invalid_count, info.die, info.block)
+        if best_key is None or key < best_key:
+            best, best_key = info, key
+    return best
+
+
+def choose_victim_cost_benefit(
+    candidates: Iterable[BlockInfo], now_us: float
+) -> BlockInfo | None:
+    """Return the candidate with the best cost-benefit score, or ``None``.
+
+    The score is ``age * (1 - u) / (2 * u)`` where ``u`` is the fraction of
+    valid pages and ``age`` the time since the block was last written.  A
+    fully-invalid block (``u == 0``) is always the best possible victim.
+    """
+    best: BlockInfo | None = None
+    best_key: tuple[float, int, int] | None = None
+    for info in candidates:
+        u = info.valid_count / info.pages_per_block
+        if u == 0.0:
+            score = float("inf")
+        else:
+            age = max(0.0, now_us - info.last_write_us)
+            score = age * (1.0 - u) / (2.0 * u)
+        key = (-score, info.die, info.block)
+        if best_key is None or key < best_key:
+            best, best_key = info, key
+    return best
+
+
+#: Registry of policy names used by configuration objects.
+POLICIES = {
+    "greedy": "choose_victim_greedy",
+    "cost_benefit": "choose_victim_cost_benefit",
+}
+
+
+def choose_victim(
+    policy: str, candidates: Iterable[BlockInfo], now_us: float
+) -> BlockInfo | None:
+    """Dispatch to a victim policy by name (``greedy`` or ``cost_benefit``)."""
+    if policy == "greedy":
+        return choose_victim_greedy(candidates)
+    if policy == "cost_benefit":
+        return choose_victim_cost_benefit(candidates, now_us)
+    raise ValueError(f"unknown GC policy {policy!r}; expected one of {sorted(POLICIES)}")

@@ -1,0 +1,181 @@
+"""Initial TPC-C population (spec clause 4.3.3, scaled).
+
+Loads ITEM, then per warehouse: WAREHOUSE, STOCK, per district: DISTRICT,
+CUSTOMER (+1 HISTORY row each), and the initial ORDER / ORDERLINE /
+NEW_ORDER rows (the last ~30% of orders are open, i.e. have NEW_ORDER
+entries and undelivered lines).  Finishes with a checkpoint so the load is
+entirely on flash before measurement starts.
+"""
+
+from __future__ import annotations
+
+from repro.db.database import Database
+from repro.tpcc.random_gen import TPCCRandom
+from repro.tpcc.schema import ScaleConfig, create_schema
+
+
+def load_database(
+    db: Database, scale: ScaleConfig, seed: int = 0, at: float = 0.0, create: bool = True
+) -> float:
+    """Create the schema (optionally) and load the initial population.
+
+    Returns the virtual completion time of the load + checkpoint.
+    """
+    rng = TPCCRandom(seed)
+    if create:
+        at = create_schema(db, at)
+    at = _load_items(db, scale, rng, at)
+    for w_id in range(1, scale.warehouses + 1):
+        at = _load_warehouse(db, scale, rng, w_id, at)
+    return db.checkpoint(at)
+
+
+def _load_items(db: Database, scale: ScaleConfig, rng: TPCCRandom, at: float) -> float:
+    item = db.table("ITEM")
+    for i_id in range(1, scale.items + 1):
+        row = (
+            i_id,
+            rng.uniform(1, 10_000),
+            rng.astring(8, 20),
+            rng.decimal(1.0, 100.0),
+            rng.data_string(14, 50),
+        )
+        __, at = item.insert(row, at)
+    return at
+
+
+def _load_warehouse(
+    db: Database, scale: ScaleConfig, rng: TPCCRandom, w_id: int, at: float
+) -> float:
+    warehouse = db.table("WAREHOUSE")
+    row = (
+        w_id,
+        rng.astring(6, 10),
+        rng.astring(10, 20),
+        rng.astring(10, 20),
+        rng.astring(2, 2).upper()[:2],
+        rng.zip_code(),
+        rng.decimal(0.0, 0.2, 4),
+        # spec 4.3.3.1 says 300,000.00, which presumes 10 districts at
+        # 30,000.00 each; keep the W_YTD == sum(D_YTD) invariant at any scale
+        30_000.0 * scale.districts,
+    )
+    __, at = warehouse.insert(row, at)
+    at = _load_stock(db, scale, rng, w_id, at)
+    for d_id in range(1, scale.districts + 1):
+        at = _load_district(db, scale, rng, w_id, d_id, at)
+    return at
+
+
+def _load_stock(db: Database, scale: ScaleConfig, rng: TPCCRandom, w_id: int, at: float) -> float:
+    stock = db.table("STOCK")
+    for i_id in range(1, scale.items + 1):
+        dists = tuple(rng.astring(24, 24) for __ in range(10))
+        row = (i_id, w_id, rng.uniform(10, 100)) + dists + (
+            0.0,
+            0,
+            0,
+            rng.data_string(14, 50),
+        )
+        __, at = stock.insert(row, at)
+    return at
+
+
+def _load_district(
+    db: Database, scale: ScaleConfig, rng: TPCCRandom, w_id: int, d_id: int, at: float
+) -> float:
+    district = db.table("DISTRICT")
+    next_o_id = scale.initial_orders_per_district + 1
+    row = (
+        d_id,
+        w_id,
+        rng.astring(6, 10),
+        rng.astring(10, 20),
+        rng.astring(10, 20),
+        "ST",
+        rng.zip_code(),
+        rng.decimal(0.0, 0.2, 4),
+        30_000.0,
+        next_o_id,
+    )
+    __, at = district.insert(row, at)
+    at = _load_customers(db, scale, rng, w_id, d_id, at)
+    at = _load_orders(db, scale, rng, w_id, d_id, at)
+    return at
+
+
+def _load_customers(
+    db: Database, scale: ScaleConfig, rng: TPCCRandom, w_id: int, d_id: int, at: float
+) -> float:
+    customer = db.table("CUSTOMER")
+    history = db.table("HISTORY")
+    for c_id in range(1, scale.customers_per_district + 1):
+        # the first customers get deterministic names so name lookups find
+        # them (spec: c_id <= 1000 uses last_name(c_id - 1))
+        last = (
+            rng.last_name(c_id - 1)
+            if c_id <= min(1000, scale.customers_per_district)
+            else rng.customer_last_name_load(scale.customers_per_district)
+        )
+        credit = "BC" if rng.uniform(1, 10) == 1 else "GC"
+        row = (
+            c_id,
+            d_id,
+            w_id,
+            rng.astring(8, 16),
+            "OE",
+            last,
+            rng.astring(10, 20),
+            rng.astring(10, 20),
+            "ST",
+            rng.zip_code(),
+            rng.nstring(16, 16),
+            0,
+            credit,
+            50_000.0,
+            rng.decimal(0.0, 0.5, 4),
+            -10.0,
+            10.0,
+            1,
+            0,
+            rng.astring(60, 120),
+        )
+        __, at = customer.insert(row, at)
+        history_row = (c_id, d_id, w_id, d_id, w_id, 0, 10.0, rng.astring(12, 24))
+        __, at = history.insert(history_row, at)
+    return at
+
+
+def _load_orders(
+    db: Database, scale: ScaleConfig, rng: TPCCRandom, w_id: int, d_id: int, at: float
+) -> float:
+    order = db.table("ORDER")
+    orderline = db.table("ORDERLINE")
+    new_order = db.table("NEW_ORDER")
+    n_orders = scale.initial_orders_per_district
+    customer_ids = rng.permutation(scale.customers_per_district)
+    open_threshold = n_orders - max(1, int(n_orders * 0.3))
+    for o_id in range(1, n_orders + 1):
+        c_id = customer_ids[(o_id - 1) % len(customer_ids)]
+        ol_cnt = rng.uniform(scale.min_order_lines, scale.max_order_lines)
+        is_open = o_id > open_threshold
+        carrier = 0 if is_open else rng.uniform(1, 10)
+        __, at = order.insert((o_id, d_id, w_id, c_id, 0, carrier, ol_cnt, 1), at)
+        for number in range(1, ol_cnt + 1):
+            amount = 0.0 if not is_open else rng.decimal(0.01, 9_999.99)
+            line = (
+                o_id,
+                d_id,
+                w_id,
+                number,
+                rng.uniform(1, scale.items),
+                w_id,
+                0 if is_open else 1,
+                5,
+                amount,
+                rng.astring(24, 24),
+            )
+            __, at = orderline.insert(line, at)
+        if is_open:
+            __, at = new_order.insert((o_id, d_id, w_id), at)
+    return at

@@ -1,0 +1,77 @@
+"""Throughput and response-time metrics for TPC-C runs.
+
+Collects exactly the performance rows of the paper's Figure 3: TPS,
+per-transaction-type response times, and the transaction count, all in
+*simulated* time (the flash device's virtual clock).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.flash.stats import LatencyAccumulator
+from repro.tpcc.transactions import ALL_KINDS, TxnResult
+
+US_PER_SECOND = 1_000_000.0
+
+
+@dataclass
+class WorkloadMetrics:
+    """Aggregated results of one TPC-C run."""
+
+    per_kind: dict[str, LatencyAccumulator] = field(
+        default_factory=lambda: {kind: LatencyAccumulator() for kind in ALL_KINDS}
+    )
+    committed: int = 0
+    aborted: int = 0
+    start_us: float = 0.0
+    end_us: float = 0.0
+
+    def record(self, result: TxnResult) -> None:
+        """Fold one transaction outcome into the metrics."""
+        self.per_kind[result.kind].record(result.response_us)
+        if result.committed:
+            self.committed += 1
+        else:
+            self.aborted += 1
+        if result.end_us > self.end_us:
+            self.end_us = result.end_us
+
+    @property
+    def transactions(self) -> int:
+        """Total executed transactions (committed + spec-mandated aborts)."""
+        return self.committed + self.aborted
+
+    @property
+    def makespan_us(self) -> float:
+        """Virtual duration of the run."""
+        return max(0.0, self.end_us - self.start_us)
+
+    @property
+    def tps(self) -> float:
+        """Transactions per simulated second."""
+        if self.makespan_us <= 0:
+            return 0.0
+        return self.transactions / (self.makespan_us / US_PER_SECOND)
+
+    def response_ms(self, kind: str) -> float:
+        """Mean response time of one transaction type, in milliseconds."""
+        return self.per_kind[kind].mean_us / 1000.0
+
+    def response_percentile_ms(self, kind: str, fraction: float) -> float:
+        """Approximate response-time percentile of one type, in ms."""
+        return self.per_kind[kind].percentile_us(fraction) / 1000.0
+
+    def summary(self) -> dict[str, float]:
+        """Flat dict of the Figure 3 performance rows."""
+        row = {
+            "tps": self.tps,
+            "transactions": self.transactions,
+            "aborted": self.aborted,
+            "makespan_us": self.makespan_us,
+        }
+        for kind in ALL_KINDS:
+            row[f"{kind}_ms"] = self.response_ms(kind)
+            row[f"{kind}_p99_ms"] = self.response_percentile_ms(kind, 0.99)
+            row[f"{kind}_count"] = self.per_kind[kind].count
+        return row

@@ -1,0 +1,108 @@
+"""TPC-C randomness: NURand, last names, strings, permutations.
+
+Implements the spec's clause 2.1.6 non-uniform random function and clause
+4.3.2 data generation rules, parameterised to the scaled-down populations
+of :class:`~repro.tpcc.schema.ScaleConfig`.
+"""
+
+from __future__ import annotations
+
+import random
+
+#: Spec clause 4.3.2.3: the syllables composing C_LAST.
+LAST_NAME_SYLLABLES = (
+    "BAR",
+    "OUGHT",
+    "ABLE",
+    "PRI",
+    "PRES",
+    "ESE",
+    "ANTI",
+    "CALLY",
+    "ATION",
+    "EING",
+)
+
+
+class TPCCRandom:
+    """Seeded random source with the TPC-C helper distributions."""
+
+    def __init__(self, seed: int = 0, c_last: int = 123, c_id: int = 259, ol_i_id: int = 7911) -> None:
+        self.rng = random.Random(seed)
+        # the spec's per-run constants C for each NURand usage
+        self.c_last_const = c_last
+        self.c_id_const = c_id
+        self.ol_i_id_const = ol_i_id
+
+    # ------------------------------------------------------------------
+    # Primitive draws
+    # ------------------------------------------------------------------
+    def uniform(self, lo: int, hi: int) -> int:
+        """Uniform integer in ``[lo, hi]``."""
+        return self.rng.randint(lo, hi)
+
+    def decimal(self, lo: float, hi: float, digits: int = 2) -> float:
+        """Uniform decimal in ``[lo, hi]`` rounded to ``digits``."""
+        return round(self.rng.uniform(lo, hi), digits)
+
+    def astring(self, lo: int, hi: int) -> str:
+        """Random alphanumeric string of length uniform in ``[lo, hi]``."""
+        length = self.uniform(lo, hi)
+        alphabet = "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789"
+        return "".join(self.rng.choice(alphabet) for __ in range(length))
+
+    def nstring(self, lo: int, hi: int) -> str:
+        """Random numeric string of length uniform in ``[lo, hi]``."""
+        length = self.uniform(lo, hi)
+        return "".join(self.rng.choice("0123456789") for __ in range(length))
+
+    def nurand(self, a: int, x: int, y: int, c: int) -> int:
+        """Spec 2.1.6: ``(((rand(0,A) | rand(x,y)) + C) % (y - x + 1)) + x``."""
+        return (((self.uniform(0, a) | self.uniform(x, y)) + c) % (y - x + 1)) + x
+
+    # ------------------------------------------------------------------
+    # Domain draws
+    # ------------------------------------------------------------------
+    def customer_id(self, customers_per_district: int) -> int:
+        """NURand(1023, ...) customer id, scaled to the population."""
+        return self.nurand(1023, 1, customers_per_district, self.c_id_const)
+
+    def item_id(self, items: int) -> int:
+        """NURand(8191, ...) item id, scaled to the population."""
+        return self.nurand(8191, 1, items, self.ol_i_id_const)
+
+    def last_name(self, number: int) -> str:
+        """C_LAST from a three-syllable number (spec 4.3.2.3)."""
+        return (
+            LAST_NAME_SYLLABLES[(number // 100) % 10]
+            + LAST_NAME_SYLLABLES[(number // 10) % 10]
+            + LAST_NAME_SYLLABLES[number % 10]
+        )
+
+    def customer_last_name_load(self, customers_per_district: int) -> str:
+        """Last name for the initial load (uniform over the name space)."""
+        space = min(999, max(0, customers_per_district - 1))
+        return self.last_name(self.uniform(0, space))
+
+    def customer_last_name_run(self, customers_per_district: int) -> str:
+        """Last name for run-time lookups (NURand-255 skew)."""
+        space = min(999, max(0, customers_per_district - 1))
+        return self.last_name(self.nurand(255, 0, space, self.c_last_const))
+
+    def permutation(self, n: int) -> list[int]:
+        """Random permutation of ``1..n`` (customer id assignment)."""
+        values = list(range(1, n + 1))
+        self.rng.shuffle(values)
+        return values
+
+    def zip_code(self) -> str:
+        """Spec 4.3.2.7: 4 random digits + '11111'."""
+        return self.nstring(4, 4) + "11111"
+
+    def data_string(self, lo: int, hi: int, original_chance: float = 0.1) -> str:
+        """i_data / s_data string; 10% contain 'ORIGINAL' (spec 4.3.3.1)."""
+        s = self.astring(lo, hi)
+        if self.rng.random() < original_chance and len(s) >= 8:
+            pos = self.uniform(0, len(s) - 8)
+            s = s[:pos] + "ORIGINAL" + s[pos + 8 :]
+        return s

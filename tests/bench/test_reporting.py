@@ -1,0 +1,117 @@
+"""Unit tests for report rendering and the experiment harness helpers."""
+
+import os
+
+import pytest
+
+from repro.bench.experiment import (
+    TPCCExperimentConfig,
+    TPCCExperimentResult,
+    _delta,
+    _derive_latencies,
+)
+from repro.bench.reporting import (
+    FIGURE3_ROWS,
+    figure3_table,
+    format_cell,
+    format_value,
+    render_series,
+    render_single,
+    render_table,
+    save_report,
+)
+
+
+class TestFormatting:
+    def test_counts_are_comma_grouped(self):
+        assert format_value(1234567.0) == "1,234,567"
+
+    def test_rates_keep_decimals(self):
+        assert format_value(3.14159) == "3.14"
+        assert format_value(0.53) == "0.53"
+
+    def test_cells(self):
+        assert format_cell(12.5) == "12.50"
+        assert format_cell("text") == "text"
+        assert format_cell(7) == "7"
+
+
+class TestTables:
+    def test_render_table_has_ratio_column(self):
+        out = render_table("T", [("metric", 100.0, 80.0)], "a", "b")
+        assert "0.80x" in out
+        assert "metric" in out
+
+    def test_render_table_zero_base(self):
+        out = render_table("T", [("m", 0.0, 0.0)], "a", "b")
+        assert "1.00x" in out
+
+    def test_render_series_aligns_columns(self):
+        out = render_series("S", ["name", "value"], [["row1", 5], ["longer-row", 12345]])
+        lines = out.splitlines()
+        assert "name" in lines[2]
+        assert any("longer-row" in line for line in lines)
+
+    def test_render_single(self):
+        out = render_single("block", {"a": 1.0, "bb": 2.5})
+        assert "a" in out and "bb" in out
+
+    def test_save_report_writes_file(self, tmp_path, capsys):
+        path = save_report("unit_test_report", "hello world", directory=str(tmp_path))
+        assert os.path.exists(path)
+        with open(path) as f:
+            assert f.read().strip() == "hello world"
+        assert "hello world" in capsys.readouterr().out
+
+
+class TestExperimentHelpers:
+    def test_delta_numbers_and_lists(self):
+        after = {"n": 10.0, "buckets": [3, 4]}
+        before = {"n": 4.0, "buckets": [1, 1]}
+        delta = _delta(after, before)
+        assert delta == {"n": 6.0, "buckets": [2, 3]}
+
+    def test_delta_missing_before_keys(self):
+        assert _delta({"n": 5.0}, {}) == {"n": 5.0}
+
+    def test_derive_latencies(self):
+        storage = {
+            "read_latency_total_us": 1000.0,
+            "read_latency_count": 10.0,
+            "write_latency_total_us": 0.0,
+            "write_latency_count": 0.0,
+            "read_latency_buckets": [0] * 72,
+            "write_latency_buckets": [0] * 72,
+        }
+        storage["read_latency_buckets"][30] = 10
+        _derive_latencies(storage)
+        assert storage["read_latency_us"] == 100.0
+        assert storage["write_latency_us"] == 0.0
+        assert storage["read_latency_p99_us"] > 0
+
+    def test_config_with_budget(self):
+        config = TPCCExperimentConfig(name="x", num_transactions=10)
+        copy = config.with_budget(duration_us=5.0)
+        assert copy.num_transactions is None
+        assert copy.duration_us == 5.0
+        assert config.num_transactions == 10  # original untouched
+
+    def test_result_row_lookup(self):
+        result = TPCCExperimentResult(
+            config=TPCCExperimentConfig(name="x"),
+            workload={"tps": 5.0},
+            storage={"gc_erases": 2.0},
+            device={"flash_reads": 7.0},
+            per_region={},
+            load_time_us=0.0,
+        )
+        assert result.row("tps") == 5.0
+        assert result.row("gc_erases") == 2.0
+        assert result.row("flash_reads") == 7.0
+        with pytest.raises(KeyError):
+            result.row("nope")
+
+    def test_figure3_rows_cover_paper_metrics(self):
+        labels = [label for label, __, ___ in FIGURE3_ROWS]
+        for expected in ("TPS", "GC COPYBACKs", "GC ERASEs", "Host READ I/Os"):
+            assert any(expected in label for label in labels)

@@ -1,0 +1,77 @@
+"""Tests for the ASCII timeline renderer."""
+
+import pytest
+
+from repro.bench.timeline import gc_interference_report, render_timeline
+from repro.flash import FlashDevice, FlashTracer, PhysicalBlockAddress, PhysicalPageAddress, small_geometry
+from repro.flash.trace import TraceEvent
+
+
+def event(op, die, start, end, issue=None):
+    return TraceEvent(op, die, 0, 0, issue if issue is not None else start, start, end)
+
+
+class TestRenderTimeline:
+    def test_empty(self):
+        assert render_timeline([]) == "(no events)"
+
+    def test_single_op_fills_its_slices(self):
+        events = [event("read_page", 0, 0.0, 50.0), event("program_page", 0, 50.0, 100.0)]
+        out = render_timeline(events, width=10)
+        row = [line for line in out.splitlines() if line.startswith("die   0")][0]
+        body = row.split("|")[1]
+        assert body == "RRRRRWWWWW"
+
+    def test_idle_gaps_are_dots(self):
+        events = [event("read_page", 0, 0.0, 10.0), event("read_page", 0, 90.0, 100.0)]
+        out = render_timeline(events, width=10)
+        body = [l for l in out.splitlines() if l.startswith("die")][0].split("|")[1]
+        assert body[0] == "R" and body[-1] == "R"
+        assert "." in body
+
+    def test_multiple_dies(self):
+        events = [event("read_page", 0, 0.0, 100.0), event("erase_block", 3, 0.0, 100.0)]
+        out = render_timeline(events, width=5)
+        assert "die   0 |RRRRR|" in out
+        assert "die   3 |EEEEE|" in out
+
+    def test_die_filter(self):
+        events = [event("read_page", 0, 0.0, 10.0), event("read_page", 1, 0.0, 10.0)]
+        out = render_timeline(events, dies=[1], width=4)
+        assert "die   0" not in out
+        assert "die   1" in out
+
+    def test_window_validation(self):
+        with pytest.raises(ValueError):
+            render_timeline([event("read_page", 0, 0.0, 10.0)], start_us=5.0, end_us=5.0)
+        with pytest.raises(ValueError):
+            render_timeline([event("read_page", 0, 0.0, 10.0)], width=1)
+
+    def test_from_real_trace(self):
+        device = FlashDevice(small_geometry())
+        tracer = FlashTracer.attach(device)
+        for page in range(4):
+            device.program_page(PhysicalPageAddress(0, 0, page), b"x")
+        device.erase_block(PhysicalBlockAddress(0, 0))
+        out = render_timeline(list(tracer.events), width=20)
+        assert "W" in out and "E" in out
+        tracer.detach()
+
+
+class TestInterferenceReport:
+    def test_empty(self):
+        device = FlashDevice(small_geometry())
+        tracer = FlashTracer(device)
+        assert gc_interference_report(tracer) == "(no events)"
+
+    def test_reports_blockers(self):
+        device = FlashDevice(small_geometry())
+        tracer = FlashTracer.attach(device)
+        # an erase occupies die 0; a read issued meanwhile queues behind it
+        device.program_page(PhysicalPageAddress(0, 0, 0), b"x", at=0.0)
+        device.erase_block(PhysicalBlockAddress(0, 1), at=600.0)
+        device.read_page(PhysicalPageAddress(0, 0, 0), at=650.0)
+        report = gc_interference_report(tracer, top=1)
+        assert "read_page d0 waited" in report
+        assert "erase_block" in report
+        tracer.detach()

@@ -1,0 +1,62 @@
+"""Tests for advisor capacity repair and magnitude-aware clustering."""
+
+import pytest
+
+from repro.core import ObjectStats, RegionError, suggest_placement
+
+
+def spread_stats():
+    """Objects spanning update-density magnitudes like TPC-C's."""
+    return [
+        ObjectStats("ITEM", size_pages=200, reads=9_000, writes=0),
+        ObjectStats("HISTORY", size_pages=150, reads=5, writes=300),
+        ObjectStats("ORDERLINE", size_pages=900, reads=4_000, writes=4_000),
+        ObjectStats("CUSTOMER", size_pages=500, reads=12_000, writes=5_000),
+        ObjectStats("STOCK", size_pages=400, reads=20_000, writes=15_000),
+        ObjectStats("O_IDX", size_pages=40, reads=2_000, writes=3_500),
+        ObjectStats("NEW_ORDER", size_pages=6, reads=2_000, writes=6_000),
+        ObjectStats("WAREHOUSE", size_pages=1, reads=8_000, writes=7_000),
+        ObjectStats("DISTRICT", size_pages=1, reads=9_000, writes=8_500),
+    ]
+
+
+class TestLogClustering:
+    def test_splits_across_magnitudes(self):
+        placement = suggest_placement(spread_stats(), total_dies=32, max_regions=6)
+        # the scorching tiny tables cluster apart from the bulky data
+        assert placement.region_of("WAREHOUSE") != placement.region_of("CUSTOMER")
+        assert placement.region_of("ITEM") != placement.region_of("NEW_ORDER")
+        # several clusters actually form (the linear-gap failure mode put
+        # everything except the hottest object in one region)
+        sizes = sorted(len(spec.objects) for spec in placement.specs)
+        assert sizes[-1] < len(spread_stats()) - 1
+
+    def test_coldest_objects_cluster_away_from_hottest(self):
+        placement = suggest_placement(spread_stats(), total_dies=32, max_regions=4)
+        assert placement.region_of("ITEM") != placement.region_of("DISTRICT")
+
+
+class TestCapacityRepair:
+    def test_big_objects_get_enough_dies(self):
+        stats = spread_stats()
+        safe = 150  # pages per die
+        placement = suggest_placement(
+            stats, total_dies=32, max_regions=5, safe_pages_per_die=safe, headroom=1.5
+        )
+        by_name = {s.name: s for s in stats}
+        for spec in placement.specs:
+            size = sum(by_name[o].size_pages for o in spec.objects)
+            # ceil(size*headroom/safe) dies suffice for every region
+            needed = -(-int(size * 1.5) // safe)
+            assert spec.num_dies >= min(needed, 32), (spec.config.name, spec.num_dies, needed)
+
+    def test_impossible_budget_rejected(self):
+        stats = [ObjectStats("BIG", size_pages=10_000, reads=10, writes=10)]
+        with pytest.raises(RegionError):
+            suggest_placement(
+                stats, total_dies=2, max_regions=2, safe_pages_per_die=10, headroom=1.5
+            )
+
+    def test_without_safe_pages_no_repair(self):
+        placement = suggest_placement(spread_stats(), total_dies=32, max_regions=5)
+        assert placement.total_dies == 32

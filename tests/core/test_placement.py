@@ -1,0 +1,138 @@
+"""Unit tests for placement configurations and the advisor."""
+
+import pytest
+
+from repro.core import (
+    ALL_TPCC_OBJECTS,
+    ObjectStats,
+    PlacementConfig,
+    RegionConfig,
+    RegionError,
+    RegionSpec,
+    figure2_placement,
+    suggest_placement,
+    traditional_placement,
+)
+
+
+class TestTraditionalPlacement:
+    def test_single_region_all_objects(self):
+        placement = traditional_placement(total_dies=64)
+        assert len(placement.specs) == 1
+        assert placement.total_dies == 64
+        assert set(placement.specs[0].objects) == set(ALL_TPCC_OBJECTS)
+
+    def test_every_object_routes_to_the_region(self):
+        placement = traditional_placement(total_dies=8)
+        for obj in ALL_TPCC_OBJECTS:
+            assert placement.region_of(obj) == "rgAll"
+
+
+class TestFigure2Placement:
+    def test_paper_die_counts_at_64(self):
+        placement = figure2_placement(total_dies=64)
+        assert [spec.num_dies for spec in placement.specs] == [2, 11, 10, 29, 6, 6]
+        assert placement.total_dies == 64
+
+    def test_covers_every_tpcc_object_exactly_once(self):
+        placement = figure2_placement(total_dies=64)
+        assert sorted(placement.objects()) == sorted(ALL_TPCC_OBJECTS)
+
+    def test_object_routing(self):
+        placement = figure2_placement(total_dies=64)
+        assert placement.region_of("STOCK") == "rgStock"
+        assert placement.region_of("ORDERLINE") == "rgOrderLine"
+        assert placement.region_of("HISTORY") == "rgMeta"
+        assert placement.region_of("WAREHOUSE") == "rgWarehouse"
+
+    def test_scales_to_other_die_totals(self):
+        placement = figure2_placement(total_dies=16)
+        assert placement.total_dies == 16
+        assert all(spec.num_dies >= 1 for spec in placement.specs)
+        # relative ordering preserved: the STOCK region stays largest
+        largest = max(placement.specs, key=lambda s: s.num_dies)
+        assert largest.config.name == "rgStock"
+
+    def test_too_few_dies_rejected(self):
+        with pytest.raises(RegionError):
+            figure2_placement(total_dies=5)
+
+    def test_unplaced_object_raises(self):
+        placement = figure2_placement(total_dies=64)
+        with pytest.raises(RegionError):
+            placement.region_of("NOT_A_TABLE")
+
+
+class TestPlacementValidation:
+    def test_object_in_two_regions_rejected(self):
+        with pytest.raises(RegionError):
+            PlacementConfig(
+                name="bad",
+                specs=(
+                    RegionSpec(RegionConfig(name="a"), 1, ("X",)),
+                    RegionSpec(RegionConfig(name="b"), 1, ("X",)),
+                ),
+            )
+
+    def test_empty_object_list_rejected(self):
+        with pytest.raises(RegionError):
+            RegionSpec(RegionConfig(name="a"), 1, ())
+
+    def test_zero_dies_rejected(self):
+        with pytest.raises(RegionError):
+            RegionSpec(RegionConfig(name="a"), 0, ("X",))
+
+
+class TestAdvisor:
+    def tpcc_like_stats(self):
+        return [
+            ObjectStats("STOCK", size_pages=2000, reads=50_000, writes=30_000),
+            ObjectStats("ORDERLINE", size_pages=3000, reads=20_000, writes=25_000),
+            ObjectStats("CUSTOMER", size_pages=1500, reads=30_000, writes=10_000),
+            ObjectStats("ITEM", size_pages=800, reads=15_000, writes=0),
+            ObjectStats("WAREHOUSE", size_pages=4, reads=9_000, writes=8_000),
+            ObjectStats("HISTORY", size_pages=500, reads=10, writes=3_000),
+        ]
+
+    def test_produces_valid_placement(self):
+        placement = suggest_placement(self.tpcc_like_stats(), total_dies=32)
+        assert placement.total_dies == 32
+        assert sorted(placement.objects()) == sorted(s.name for s in self.tpcc_like_stats())
+
+    def test_separates_readonly_from_hot(self):
+        placement = suggest_placement(self.tpcc_like_stats(), total_dies=32, max_regions=4)
+        # ITEM (read-only) must not share a region with WAREHOUSE (hottest
+        # update density by far)
+        assert placement.region_of("ITEM") != placement.region_of("WAREHOUSE")
+
+    def test_die_budget_monotone_in_cluster_io(self):
+        stats = {s.name: s for s in self.tpcc_like_stats()}
+        placement = suggest_placement(self.tpcc_like_stats(), total_dies=64, max_regions=3)
+        weighted = [
+            (sum(stats[o].io_rate for o in spec.objects), spec.num_dies)
+            for spec in placement.specs
+        ]
+        weighted.sort()
+        io_rates = [w for w, __ in weighted]
+        dies = [d for __, d in weighted]
+        assert dies == sorted(dies), f"die shares not monotone in IO: {weighted}"
+        assert io_rates == sorted(io_rates)
+
+    def test_respects_max_regions(self):
+        placement = suggest_placement(self.tpcc_like_stats(), total_dies=32, max_regions=2)
+        assert len(placement.specs) <= 2
+
+    def test_single_object(self):
+        placement = suggest_placement(
+            [ObjectStats("T", size_pages=10, reads=5, writes=5)], total_dies=4
+        )
+        assert placement.total_dies == 4
+        assert len(placement.specs) == 1
+
+    def test_empty_stats_rejected(self):
+        with pytest.raises(RegionError):
+            suggest_placement([], total_dies=4)
+
+    def test_negative_stats_rejected(self):
+        with pytest.raises(ValueError):
+            ObjectStats("T", size_pages=-1, reads=0, writes=0)

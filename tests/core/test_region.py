@@ -1,0 +1,141 @@
+"""Unit tests for Region: allocation, I/O, limits."""
+
+import pytest
+
+from repro.core import NoFTLStore, RegionConfig, RegionError, RegionFullError
+from repro.flash import FlashGeometry, instant_timing
+
+
+def small_store():
+    geometry = FlashGeometry(
+        channels=2,
+        chips_per_channel=2,
+        dies_per_chip=2,
+        planes_per_die=1,
+        blocks_per_plane=16,
+        pages_per_block=8,
+        page_size=256,
+        oob_size=16,
+        max_pe_cycles=10_000,
+    )
+    return NoFTLStore.create(geometry, timing=instant_timing())
+
+
+class TestRegionConfig:
+    def test_valid_names(self):
+        RegionConfig(name="rgHotTbl")
+        RegionConfig(name="rg_hot_1")
+
+    def test_invalid_name_rejected(self):
+        with pytest.raises(RegionError):
+            RegionConfig(name="")
+        with pytest.raises(RegionError):
+            RegionConfig(name="rg hot")
+
+    def test_nonpositive_bounds_rejected(self):
+        with pytest.raises(RegionError):
+            RegionConfig(name="rg", max_chips=0)
+        with pytest.raises(RegionError):
+            RegionConfig(name="rg", max_size_bytes=-1)
+
+    def test_max_size_human(self):
+        assert RegionConfig(name="rg").max_size_human == "unbounded"
+        assert RegionConfig(name="rg", max_size_bytes=1280 * 1024 * 1024).max_size_human == "1280M"
+
+
+class TestAllocation:
+    def test_allocate_and_write_read(self):
+        store = small_store()
+        region = store.create_region(RegionConfig(name="rg"), num_dies=2)
+        pages = region.allocate(4)
+        assert len(pages) == 4
+        region.write(pages[0], b"hello", at=0.0)
+        assert region.read(pages[0], at=0.0)[0] == b"hello"
+
+    def test_fresh_allocations_are_contiguous(self):
+        store = small_store()
+        region = store.create_region(RegionConfig(name="rg"), num_dies=2)
+        pages = region.allocate(8)
+        assert pages == list(range(8))
+
+    def test_freed_pages_are_recycled(self):
+        store = small_store()
+        region = store.create_region(RegionConfig(name="rg"), num_dies=2)
+        pages = region.allocate(4)
+        region.free(pages[:2])
+        recycled = region.allocate(2)
+        assert set(recycled) == set(pages[:2])
+
+    def test_free_unallocated_rejected(self):
+        store = small_store()
+        region = store.create_region(RegionConfig(name="rg"), num_dies=2)
+        with pytest.raises(RegionError):
+            region.free([99])
+
+    def test_io_on_unallocated_page_rejected(self):
+        store = small_store()
+        region = store.create_region(RegionConfig(name="rg"), num_dies=2)
+        with pytest.raises(RegionError):
+            region.write(0, b"x", at=0.0)
+        with pytest.raises(RegionError):
+            region.read(0, at=0.0)
+
+    def test_capacity_exhaustion(self):
+        store = small_store()
+        region = store.create_region(RegionConfig(name="rg"), num_dies=1)
+        capacity = region.capacity_pages()
+        region.allocate(capacity)
+        with pytest.raises(RegionFullError):
+            region.allocate(1)
+
+    def test_max_size_caps_capacity(self):
+        store = small_store()
+        page = store.device.geometry.page_size
+        capped = store.create_region(
+            RegionConfig(name="rgCap", max_size_bytes=10 * page), num_dies=1
+        )
+        assert capped.capacity_pages() == 10
+
+    def test_freeing_invalidates_data(self):
+        store = small_store()
+        region = store.create_region(RegionConfig(name="rg"), num_dies=2)
+        [rpn] = region.allocate(1)
+        region.write(rpn, b"x", at=0.0)
+        region.free([rpn])
+        assert not region.engine.contains(rpn)
+
+
+class TestRegionIO:
+    def test_data_survives_gc_churn(self):
+        import random
+
+        rng = random.Random(11)
+        store = small_store()
+        region = store.create_region(RegionConfig(name="rg"), num_dies=2)
+        pages = region.allocate(region.capacity_pages() // 2)
+        payloads = {}
+        for __ in range(len(pages) * 10):
+            rpn = rng.choice(pages)
+            payload = bytes([rng.randrange(256)]) * 4
+            region.write(rpn, payload, at=0.0)
+            payloads[rpn] = payload
+        assert region.stats.gc_erases > 0
+        for rpn, payload in payloads.items():
+            assert region.read(rpn, at=0.0)[0] == payload
+        region.engine.check_consistency()
+
+    def test_stats_track_host_io(self):
+        store = small_store()
+        region = store.create_region(RegionConfig(name="rg"), num_dies=2)
+        [rpn] = region.allocate(1)
+        region.write(rpn, b"x", at=0.0)
+        region.read(rpn, at=0.0)
+        assert region.stats.host_writes == 1
+        assert region.stats.host_reads == 1
+
+    def test_describe_reports_layout(self):
+        store = small_store()
+        region = store.create_region(RegionConfig(name="rg"), num_dies=4)
+        row = region.describe()
+        assert row["name"] == "rg"
+        assert len(row["dies"]) == 4

@@ -1,0 +1,155 @@
+"""Unit tests for storage backends (NoFTL and block-device)."""
+
+import pytest
+
+from repro.core import NoFTLStore, RegionConfig
+from repro.db import BackendError, BlockDeviceBackend, METADATA_SPACE_ID, NoFTLBackend
+from repro.flash import FlashDevice, FlashGeometry, instant_timing
+from repro.ftl import PageMappingFTL
+
+
+def small_geometry():
+    return FlashGeometry(
+        channels=2,
+        chips_per_channel=2,
+        dies_per_chip=2,
+        planes_per_die=1,
+        blocks_per_plane=32,
+        pages_per_block=16,
+        page_size=512,
+        oob_size=16,
+        max_pe_cycles=100_000,
+    )
+
+
+def make_noftl_backend():
+    store = NoFTLStore.create(small_geometry(), timing=instant_timing())
+    store.create_region(RegionConfig(name="rgA"), num_dies=4)
+    store.create_region(RegionConfig(name="rgB"), num_dies=4)
+    return store, NoFTLBackend(store, default_region="rgA")
+
+
+def make_blockdev_backend():
+    device = FlashDevice(small_geometry(), timing=instant_timing())
+    ftl = PageMappingFTL(device, overprovision=0.3)
+    return ftl, BlockDeviceBackend(ftl)
+
+
+class TestCommonBehaviour:
+    @pytest.fixture(params=["noftl", "blockdev"])
+    def backend(self, request):
+        if request.param == "noftl":
+            return make_noftl_backend()[1]
+        return make_blockdev_backend()[1]
+
+    def test_metadata_space_exists(self, backend):
+        assert backend.space_id("DBMS_METADATA") == METADATA_SPACE_ID
+
+    def test_allocate_write_read(self, backend):
+        sid = backend.create_space("t")
+        page_no, t = backend.allocate_page(sid, 0.0)
+        t = backend.write_page(sid, page_no, b"payload", t)
+        data, __ = backend.read_page(sid, page_no, t)
+        assert data == b"payload"
+
+    def test_duplicate_space_rejected(self, backend):
+        backend.create_space("t")
+        with pytest.raises(BackendError):
+            backend.create_space("t")
+
+    def test_unknown_space_rejected(self, backend):
+        with pytest.raises(BackendError):
+            backend.space_id("missing")
+        with pytest.raises(BackendError):
+            backend.read_page(999, 0, 0.0)
+
+    def test_page_bounds_checked(self, backend):
+        sid = backend.create_space("t")
+        with pytest.raises(BackendError):
+            backend.read_page(sid, 0, 0.0)
+
+    def test_free_and_reallocate(self, backend):
+        sid = backend.create_space("t")
+        page_no, t = backend.allocate_page(sid, 0.0)
+        backend.write_page(sid, page_no, b"x", t)
+        backend.free_page(sid, page_no)
+        again, __ = backend.allocate_page(sid, 0.0)
+        assert again == page_no
+
+    def test_double_free_rejected(self, backend):
+        sid = backend.create_space("t")
+        page_no, __ = backend.allocate_page(sid, 0.0)
+        backend.free_page(sid, page_no)
+        with pytest.raises(BackendError):
+            backend.free_page(sid, page_no)
+
+    def test_oversized_page_rejected(self, backend):
+        sid = backend.create_space("t")
+        page_no, __ = backend.allocate_page(sid, 0.0)
+        with pytest.raises(BackendError):
+            backend.write_page(sid, page_no, b"x" * (backend.page_size + 1), 0.0)
+
+    def test_per_space_io_counters(self, backend):
+        sid = backend.create_space("t")
+        page_no, t = backend.allocate_page(sid, 0.0)
+        backend.write_page(sid, page_no, b"x", t)
+        backend.read_page(sid, page_no, t)
+        assert backend.space_writes[sid] == 1
+        assert backend.space_reads[sid] == 1
+
+    def test_allocated_pages_counts(self, backend):
+        sid = backend.create_space("t")
+        for __ in range(5):
+            backend.allocate_page(sid, 0.0)
+        assert backend.allocated_pages(sid) == 5
+
+
+class TestNoFTLSpecifics:
+    def test_spaces_route_to_their_regions(self):
+        store, backend = make_noftl_backend()
+        sid_a = backend.create_space("ta", region="rgA")
+        sid_b = backend.create_space("tb", region="rgB")
+        pa, t = backend.allocate_page(sid_a, 0.0)
+        backend.write_page(sid_a, pa, b"a", t)
+        pb, t = backend.allocate_page(sid_b, 0.0)
+        backend.write_page(sid_b, pb, b"b", t)
+        assert store.region("rgA").stats.host_writes >= 1
+        assert store.region("rgB").stats.host_writes >= 1
+        assert backend.region_of_space(sid_a).name == "rgA"
+
+    def test_extent_allocation_writes_metadata(self):
+        store, backend = make_noftl_backend()
+        meta_region = store.region("rgA")
+        writes_before = meta_region.stats.host_writes
+        sid = backend.create_space("t", region="rgB")
+        backend.allocate_page(sid, 0.0)  # first extent -> metadata write
+        assert meta_region.stats.host_writes > writes_before
+
+    def test_default_region_used_without_hint(self):
+        store, backend = make_noftl_backend()
+        sid = backend.create_space("t")
+        assert backend.region_of_space(sid).name == "rgA"
+
+
+class TestBlockDeviceSpecifics:
+    def test_lba_exhaustion(self):
+        ftl, backend = make_blockdev_backend()
+        sid = backend.create_space("t", extent_pages=64)
+        with pytest.raises(BackendError):
+            for __ in range(ftl.num_lbas + 64):
+                backend.allocate_page(sid, 0.0)
+
+    def test_region_hint_ignored(self):
+        __, backend = make_blockdev_backend()
+        sid = backend.create_space("t", region="rgWhatever")
+        page_no, t = backend.allocate_page(sid, 0.0)
+        backend.write_page(sid, page_no, b"x", t)
+
+    def test_trim_on_free(self):
+        ftl, backend = make_blockdev_backend()
+        sid = backend.create_space("t")
+        page_no, t = backend.allocate_page(sid, 0.0)
+        backend.write_page(sid, page_no, b"x", t)
+        mapped_before = ftl.mapped_lbas()
+        backend.free_page(sid, page_no)
+        assert ftl.mapped_lbas() == mapped_before - 1

@@ -1,0 +1,183 @@
+"""Unit tests for the B+-tree index."""
+
+import random
+
+import pytest
+
+from repro.db import BTree, BufferPool, IndexError_, RID, Schema, SchemaError, char_col, float_col, int_col
+
+
+def make_tree(backend, columns=None, unique=False, buffer_pages=64):
+    sid = backend.create_space(f"idx_{random.random()}")
+    pool = BufferPool(backend, capacity=buffer_pages, flusher_interval=0)
+    schema = Schema(columns or [int_col("k")])
+    return BTree(pool, sid, schema, unique=unique)
+
+
+class TestBasics:
+    def test_insert_search(self, memory_backend):
+        tree = make_tree(memory_backend)
+        tree.insert((5,), RID(1, 1), 0.0)
+        rid, __ = tree.search((5,), 0.0)
+        assert rid == RID(1, 1)
+
+    def test_search_missing(self, memory_backend):
+        tree = make_tree(memory_backend)
+        tree.insert((5,), RID(1, 1), 0.0)
+        assert tree.search((6,), 0.0)[0] is None
+        assert tree.search((4,), 0.0)[0] is None
+
+    def test_empty_tree(self, memory_backend):
+        tree = make_tree(memory_backend)
+        assert tree.search((1,), 0.0)[0] is None
+        assert tree.range_scan(None, None, 0.0)[0] == []
+        assert tree.entry_count == 0
+
+    def test_float_key_rejected(self, memory_backend):
+        with pytest.raises(SchemaError):
+            make_tree(memory_backend, columns=[float_col("f")])
+
+    def test_many_inserts_split_and_stay_sorted(self, memory_backend):
+        tree = make_tree(memory_backend)
+        keys = list(range(500))
+        random.Random(1).shuffle(keys)
+        for k in keys:
+            tree.insert((k,), RID(k, 0), 0.0)
+        assert tree.height > 1
+        assert tree.entry_count == 500
+        tree.check_invariants()
+        entries, __ = tree.range_scan(None, None, 0.0)
+        assert [k[0] for k, __ in entries] == sorted(range(500))
+
+    def test_search_finds_every_inserted_key(self, memory_backend):
+        tree = make_tree(memory_backend)
+        rng = random.Random(2)
+        keys = rng.sample(range(10_000), 300)
+        for k in keys:
+            tree.insert((k,), RID(k % 100, k % 50), 0.0)
+        for k in keys:
+            rid, __ = tree.search((k,), 0.0)
+            assert rid == RID(k % 100, k % 50)
+
+
+class TestCompositeAndStringKeys:
+    def test_composite_key_ordering(self, memory_backend):
+        tree = make_tree(memory_backend, columns=[int_col("a"), int_col("b")])
+        tree.insert((1, 5), RID(1, 0), 0.0)
+        tree.insert((1, 2), RID(2, 0), 0.0)
+        tree.insert((0, 9), RID(3, 0), 0.0)
+        entries, __ = tree.range_scan(None, None, 0.0)
+        assert [k for k, __ in entries] == [(0, 9), (1, 2), (1, 5)]
+
+    def test_string_keys(self, memory_backend):
+        tree = make_tree(memory_backend, columns=[char_col("name", 12)])
+        for i, name in enumerate(["delta", "alpha", "charlie", "bravo"]):
+            tree.insert((name,), RID(i, 0), 0.0)
+        entries, __ = tree.range_scan(None, None, 0.0)
+        assert [k[0] for k, __ in entries] == ["alpha", "bravo", "charlie", "delta"]
+
+    def test_mixed_composite(self, memory_backend):
+        tree = make_tree(memory_backend, columns=[char_col("s", 8), int_col("i")])
+        tree.insert(("b", 1), RID(0, 0), 0.0)
+        tree.insert(("a", 9), RID(1, 0), 0.0)
+        entries, __ = tree.range_scan(("a", 0), ("a", 99), 0.0)
+        assert [k for k, __ in entries] == [("a", 9)]
+
+
+class TestDuplicatesAndUnique:
+    def test_duplicates_allowed_by_default(self, memory_backend):
+        tree = make_tree(memory_backend)
+        for slot in range(10):
+            tree.insert((7,), RID(1, slot), 0.0)
+        rids, __ = tree.search_all((7,), 0.0)
+        assert sorted(r.slot for r in rids) == list(range(10))
+
+    def test_unique_rejects_duplicates(self, memory_backend):
+        tree = make_tree(memory_backend, unique=True)
+        tree.insert((7,), RID(1, 0), 0.0)
+        with pytest.raises(IndexError_):
+            tree.insert((7,), RID(1, 1), 0.0)
+
+    def test_duplicates_across_leaf_splits(self, memory_backend):
+        tree = make_tree(memory_backend)
+        # enough duplicates to span multiple leaves
+        for slot in range(200):
+            tree.insert((42,), RID(slot, 0), 0.0)
+        tree.insert((41,), RID(0, 1), 0.0)
+        tree.insert((43,), RID(0, 2), 0.0)
+        rids, __ = tree.search_all((42,), 0.0)
+        assert len(rids) == 200
+        tree.check_invariants()
+
+
+class TestRangeScan:
+    def test_bounded_scan(self, memory_backend):
+        tree = make_tree(memory_backend)
+        for k in range(100):
+            tree.insert((k,), RID(k, 0), 0.0)
+        entries, __ = tree.range_scan((10,), (20,), 0.0)
+        assert [k[0] for k, __ in entries] == list(range(10, 21))
+
+    def test_scan_with_limit(self, memory_backend):
+        tree = make_tree(memory_backend)
+        for k in range(100):
+            tree.insert((k,), RID(k, 0), 0.0)
+        entries, __ = tree.range_scan((50,), None, 0.0, limit=5)
+        assert [k[0] for k, __ in entries] == [50, 51, 52, 53, 54]
+
+    def test_open_lower_bound(self, memory_backend):
+        tree = make_tree(memory_backend)
+        for k in range(20):
+            tree.insert((k,), RID(k, 0), 0.0)
+        entries, __ = tree.range_scan(None, (3,), 0.0)
+        assert [k[0] for k, __ in entries] == [0, 1, 2, 3]
+
+
+class TestDelete:
+    def test_delete_specific_rid(self, memory_backend):
+        tree = make_tree(memory_backend)
+        tree.insert((1,), RID(0, 0), 0.0)
+        tree.insert((1,), RID(0, 1), 0.0)
+        deleted, __ = tree.delete((1,), RID(0, 0), 0.0)
+        assert deleted
+        rids, __ = tree.search_all((1,), 0.0)
+        assert rids == [RID(0, 1)]
+
+    def test_delete_missing_returns_false(self, memory_backend):
+        tree = make_tree(memory_backend)
+        tree.insert((1,), RID(0, 0), 0.0)
+        deleted, __ = tree.delete((2,), None, 0.0)
+        assert not deleted
+
+    def test_delete_from_empty_tree(self, memory_backend):
+        tree = make_tree(memory_backend)
+        assert tree.delete((1,), None, 0.0)[0] is False
+
+    def test_mass_delete_keeps_invariants(self, memory_backend):
+        tree = make_tree(memory_backend)
+        rng = random.Random(3)
+        keys = list(range(300))
+        rng.shuffle(keys)
+        for k in keys:
+            tree.insert((k,), RID(k, 0), 0.0)
+        rng.shuffle(keys)
+        for k in keys[:150]:
+            deleted, __ = tree.delete((k,), RID(k, 0), 0.0)
+            assert deleted
+        tree.check_invariants()
+        remaining = {k[0] for k, __ in tree.range_scan(None, None, 0.0)[0]}
+        assert remaining == set(keys[150:])
+
+
+class TestPersistence:
+    def test_tree_survives_tiny_buffer(self, memory_backend):
+        tree = make_tree(memory_backend, buffer_pages=8)
+        rng = random.Random(5)
+        keys = rng.sample(range(100_000), 400)
+        for k in keys:
+            tree.insert((k,), RID(k % 997, k % 13), 0.0)
+        assert tree.buffer_pool.stats.evictions > 0
+        for k in keys:
+            rid, __ = tree.search((k,), 0.0)
+            assert rid == RID(k % 997, k % 13)
+        tree.check_invariants()

@@ -1,0 +1,165 @@
+"""Unit tests for the buffer pool."""
+
+import pytest
+
+from repro.db import BufferError, BufferPool
+
+
+def identity_codec():
+    return dict(decoder=lambda b: bytearray(b), encoder=lambda p: bytes(p))
+
+
+def make_pool(backend, capacity=4, flusher_interval=0, **kwargs):
+    kwargs.setdefault("cpu_us_per_op", 0.0)
+    return BufferPool(backend, capacity=capacity, flusher_interval=flusher_interval, **kwargs)
+
+
+def seed_pages(backend, space_id, count):
+    """Allocate and write `count` raw pages directly to the backend."""
+    for i in range(count):
+        page_no, __ = backend.allocate_page(space_id, 0.0)
+        backend.write_page(space_id, page_no, bytes([i]) * 8, 0.0)
+
+
+class TestHitMiss:
+    def test_miss_then_hit(self, memory_backend):
+        sid = memory_backend.create_space("t")
+        seed_pages(memory_backend, sid, 1)
+        pool = make_pool(memory_backend)
+        page, t1 = pool.get(sid, 0, 0.0, **identity_codec())
+        assert bytes(page) == b"\x00" * 8
+        assert t1 == 10.0  # one backend read
+        __, t2 = pool.get(sid, 0, t1, **identity_codec())
+        assert t2 == t1  # hit: free
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+
+    def test_hit_returns_same_object(self, memory_backend):
+        sid = memory_backend.create_space("t")
+        seed_pages(memory_backend, sid, 1)
+        pool = make_pool(memory_backend)
+        a, __ = pool.get(sid, 0, 0.0, **identity_codec())
+        b, __ = pool.get(sid, 0, 0.0, **identity_codec())
+        assert a is b
+
+    def test_put_new_installs_dirty(self, memory_backend):
+        sid = memory_backend.create_space("t")
+        page_no, __ = memory_backend.allocate_page(sid, 0.0)
+        pool = make_pool(memory_backend)
+        pool.put_new(sid, page_no, bytearray(b"fresh"), lambda p: bytes(p), 0.0)
+        assert pool.is_buffered(sid, page_no)
+        pool.flush_all(0.0)
+        assert memory_backend.pages[(sid, page_no)] == b"fresh"
+
+
+class TestEviction:
+    def test_capacity_respected(self, memory_backend):
+        sid = memory_backend.create_space("t")
+        seed_pages(memory_backend, sid, 8)
+        pool = make_pool(memory_backend, capacity=4)
+        for i in range(8):
+            pool.get(sid, i, 0.0, **identity_codec())
+        assert pool.buffered_pages() <= 4
+        assert pool.stats.evictions >= 4
+
+    def test_dirty_eviction_writes_back(self, memory_backend):
+        sid = memory_backend.create_space("t")
+        seed_pages(memory_backend, sid, 8)
+        pool = make_pool(memory_backend, capacity=4)
+        page, __ = pool.get(sid, 0, 0.0, **identity_codec())
+        page[0] = 0xFF
+        pool.mark_dirty(sid, 0)
+        for i in range(1, 8):
+            pool.get(sid, i, 0.0, **identity_codec())
+        assert not pool.is_buffered(sid, 0)
+        assert memory_backend.pages[(sid, 0)][0] == 0xFF
+
+    def test_clean_eviction_skips_write(self, memory_backend):
+        sid = memory_backend.create_space("t")
+        seed_pages(memory_backend, sid, 8)
+        writes_before = memory_backend.writes
+        pool = make_pool(memory_backend, capacity=4)
+        for i in range(8):
+            pool.get(sid, i, 0.0, **identity_codec())
+        assert memory_backend.writes == writes_before
+
+    def test_pinned_pages_survive_pressure(self, memory_backend):
+        sid = memory_backend.create_space("t")
+        seed_pages(memory_backend, sid, 8)
+        pool = make_pool(memory_backend, capacity=4)
+        pool.get(sid, 0, 0.0, pin=True, **identity_codec())
+        for i in range(1, 8):
+            pool.get(sid, i, 0.0, **identity_codec())
+        assert pool.is_buffered(sid, 0)
+        pool.unpin(sid, 0)
+
+    def test_all_pinned_raises(self, memory_backend):
+        sid = memory_backend.create_space("t")
+        seed_pages(memory_backend, sid, 5)
+        pool = make_pool(memory_backend, capacity=4)
+        for i in range(4):
+            pool.get(sid, i, 0.0, pin=True, **identity_codec())
+        with pytest.raises(BufferError):
+            pool.get(sid, 4, 0.0, **identity_codec())
+
+
+class TestFlusher:
+    def test_background_flusher_cleans_dirty_pages(self, memory_backend):
+        sid = memory_backend.create_space("t")
+        seed_pages(memory_backend, sid, 4)
+        pool = make_pool(memory_backend, capacity=8, flusher_interval=4, flusher_batch=2)
+        for i in range(4):
+            page, __ = pool.get(sid, i, 0.0, **identity_codec())
+            pool.mark_dirty(sid, i)
+        # more ops to trigger the flusher
+        for __ in range(8):
+            pool.get(sid, 0, 0.0, **identity_codec())
+        assert pool.stats.flusher_writes > 0
+
+    def test_flusher_does_not_advance_caller_clock(self, memory_backend):
+        sid = memory_backend.create_space("t")
+        seed_pages(memory_backend, sid, 4)
+        pool = make_pool(memory_backend, capacity=8, flusher_interval=2, flusher_batch=4)
+        for i in range(4):
+            pool.get(sid, i, 0.0, **identity_codec())
+            pool.mark_dirty(sid, i)
+        __, t = pool.get(sid, 0, 100.0, **identity_codec())
+        assert t == 100.0  # hit + async flush: no caller time
+
+
+class TestFlush:
+    def test_flush_all_clears_dirty(self, memory_backend):
+        sid = memory_backend.create_space("t")
+        seed_pages(memory_backend, sid, 3)
+        pool = make_pool(memory_backend)
+        for i in range(3):
+            page, __ = pool.get(sid, i, 0.0, **identity_codec())
+            page[0] = i + 10
+            pool.mark_dirty(sid, i)
+        pool.flush_all(0.0)
+        for i in range(3):
+            assert memory_backend.pages[(sid, i)][0] == i + 10
+        # second flush writes nothing
+        writes = memory_backend.writes
+        pool.flush_all(0.0)
+        assert memory_backend.writes == writes
+
+    def test_mark_dirty_unbuffered_rejected(self, memory_backend):
+        pool = make_pool(memory_backend)
+        with pytest.raises(BufferError):
+            pool.mark_dirty(1, 0)
+
+    def test_unpin_unpinned_rejected(self, memory_backend):
+        pool = make_pool(memory_backend)
+        with pytest.raises(BufferError):
+            pool.unpin(1, 0)
+
+    def test_drop_discards_without_writeback(self, memory_backend):
+        sid = memory_backend.create_space("t")
+        seed_pages(memory_backend, sid, 1)
+        pool = make_pool(memory_backend)
+        page, __ = pool.get(sid, 0, 0.0, **identity_codec())
+        page[0] = 0xEE
+        pool.mark_dirty(sid, 0)
+        pool.drop(sid, 0)
+        assert memory_backend.pages[(sid, 0)][0] != 0xEE

@@ -1,0 +1,135 @@
+"""Unit tests for the catalog and the table access layer."""
+
+import pytest
+
+from repro.db import (
+    BTree,
+    BufferPool,
+    Catalog,
+    CatalogError,
+    HeapFile,
+    IndexInfo,
+    Schema,
+    TableInfo,
+    TablespaceInfo,
+    char_col,
+    int_col,
+)
+from repro.db.table import Table, TableError
+
+
+def build_table(backend, name="t", with_index=True):
+    catalog = Catalog()
+    pool = BufferPool(backend, capacity=32, flusher_interval=0, cpu_us_per_op=0.0)
+    sid = backend.create_space(f"ts_{name}")
+    catalog.add_tablespace(TablespaceInfo(f"ts_{name}", sid, None, 32))
+    schema = Schema([int_col("id"), char_col("name", 12), int_col("score")])
+    heap = HeapFile(pool, sid, schema)
+    info = TableInfo(name=name, schema=schema, tablespace=f"ts_{name}", heap=heap)
+    catalog.add_table(info)
+    if with_index:
+        idx_sid = backend.create_space(f"ts_{name}_idx")
+        catalog.add_tablespace(TablespaceInfo(f"ts_{name}_idx", idx_sid, None, 32))
+        btree = BTree(pool, idx_sid, schema.project(["id"]), unique=True)
+        catalog.add_index(
+            IndexInfo(f"{name}_pk", name, ("id",), True, f"ts_{name}_idx", btree)
+        )
+        name_tree = BTree(pool, idx_sid, schema.project(["name"]), unique=False)
+        catalog.add_index(
+            IndexInfo(f"{name}_name", name, ("name",), False, f"ts_{name}_idx", name_tree)
+        )
+    return catalog, Table(catalog.table(name))
+
+
+class TestCatalog:
+    def test_duplicate_registrations_rejected(self, memory_backend):
+        catalog, __ = build_table(memory_backend)
+        with pytest.raises(CatalogError):
+            catalog.add_tablespace(TablespaceInfo("ts_t", 99, None, 32))
+        with pytest.raises(CatalogError):
+            catalog.add_table(catalog.table("t"))
+        with pytest.raises(CatalogError):
+            catalog.add_index(catalog.index("t_pk"))
+
+    def test_lookups(self, memory_backend):
+        catalog, __ = build_table(memory_backend)
+        assert catalog.has_table("t")
+        assert catalog.has_index("t_pk")
+        assert catalog.has_tablespace("ts_t")
+        assert not catalog.has_table("missing")
+        with pytest.raises(CatalogError):
+            catalog.table("missing")
+        with pytest.raises(CatalogError):
+            catalog.index("missing")
+        with pytest.raises(CatalogError):
+            catalog.tablespace("missing")
+
+    def test_index_attached_to_table(self, memory_backend):
+        catalog, __ = build_table(memory_backend)
+        assert [i.name for i in catalog.table("t").indexes] == ["t_pk", "t_name"]
+
+    def test_drop_table_removes_indexes(self, memory_backend):
+        catalog, __ = build_table(memory_backend)
+        catalog.drop_table("t")
+        assert not catalog.has_table("t")
+        assert not catalog.has_index("t_pk")
+        assert not catalog.has_index("t_name")
+
+    def test_sorted_listings(self, memory_backend):
+        catalog, __ = build_table(memory_backend)
+        assert [t.name for t in catalog.tables()] == ["t"]
+        assert [i.name for i in catalog.indexes()] == ["t_name", "t_pk"]
+
+
+class TestTable:
+    def test_insert_maintains_all_indexes(self, memory_backend):
+        __, table = build_table(memory_backend)
+        rid, t = table.insert((1, "alice", 10), 0.0)
+        assert table.lookup("t_pk", (1,), t)[0] == (1, "alice", 10)
+        rows, __ = table.lookup_all("t_name", ("alice",), t)
+        assert rows == [(rid, (1, "alice", 10))]
+
+    def test_update_fixes_only_changed_keys(self, memory_backend):
+        __, table = build_table(memory_backend)
+        rid, t = table.insert((1, "alice", 10), 0.0)
+        rid, t = table.update_columns(rid, {"score": 99}, t)
+        # id key unchanged, name key unchanged: both still resolve
+        assert table.lookup("t_pk", (1,), t)[0] == (1, "alice", 99)
+        rid, t = table.update_columns(rid, {"name": "bob"}, t)
+        assert table.lookup_all("t_name", ("alice",), t)[0] == []
+        assert table.lookup_all("t_name", ("bob",), t)[0][0][1] == (1, "bob", 99)
+
+    def test_delete_removes_index_entries(self, memory_backend):
+        __, table = build_table(memory_backend)
+        rid, t = table.insert((1, "alice", 10), 0.0)
+        t = table.delete(rid, t)
+        assert table.lookup("t_pk", (1,), t)[0] is None
+        assert table.lookup_all("t_name", ("alice",), t)[0] == []
+        assert table.row_count == 0
+
+    def test_lookup_rid(self, memory_backend):
+        __, table = build_table(memory_backend)
+        rid, t = table.insert((7, "x", 0), 0.0)
+        found, __ = table.lookup_rid("t_pk", (7,), t)
+        assert found == rid
+
+    def test_unknown_index_rejected(self, memory_backend):
+        __, table = build_table(memory_backend)
+        with pytest.raises(TableError):
+            table.index("nope")
+
+    def test_scan_matches_inserts(self, memory_backend):
+        __, table = build_table(memory_backend)
+        t = 0.0
+        for i in range(25):
+            __, t = table.insert((i, f"u{i}", i * 2), t)
+        rows = {row[0] for ___, row, ____ in table.scan(t)}
+        assert rows == set(range(25))
+
+    def test_duplicate_names_in_non_unique_index(self, memory_backend):
+        __, table = build_table(memory_backend)
+        t = 0.0
+        for i in range(5):
+            __, t = table.insert((i, "same", i), t)
+        rows, __ = table.lookup_all("t_name", ("same",), t)
+        assert len(rows) == 5

@@ -1,0 +1,137 @@
+"""Unit tests for the DBMS DDL parser."""
+
+import pytest
+
+from repro.db import (
+    ColumnType,
+    DDLError,
+    parse_column,
+    parse_create_index,
+    parse_create_table,
+    parse_create_tablespace,
+    parse_drop_table,
+    statement_kind,
+)
+
+
+class TestParseColumn:
+    def test_int_variants(self):
+        for text in ("a INT", "a INTEGER", "a BIGINT", "a NUMBER(3)"):
+            assert parse_column(text).type is ColumnType.INT
+
+    def test_float_variants(self):
+        for text in ("a FLOAT", "a DECIMAL(12,2)", "a NUMBER(12,2)", "a REAL"):
+            assert parse_column(text).type is ColumnType.FLOAT
+
+    def test_char_and_varchar(self):
+        c = parse_column("name CHAR(16)")
+        assert c.type is ColumnType.CHAR and c.length == 16
+        v = parse_column("data VARCHAR2(250)")
+        assert v.type is ColumnType.VARCHAR and v.length == 250
+
+    def test_text_needs_length(self):
+        with pytest.raises(DDLError):
+            parse_column("c CHAR")
+        with pytest.raises(DDLError):
+            parse_column("v VARCHAR")
+
+    def test_unknown_type(self):
+        with pytest.raises(DDLError):
+            parse_column("b BLOB")
+
+    def test_garbage(self):
+        with pytest.raises(DDLError):
+            parse_column("!!!")
+
+
+class TestCreateTablespace:
+    def test_paper_example(self):
+        ts = parse_create_tablespace(
+            "CREATE TABLESPACE tsHotTbl (REGION=rgHotTbl, EXTENT SIZE 128K);"
+        )
+        assert ts.name == "tsHotTbl"
+        assert ts.region == "rgHotTbl"
+        assert ts.extent_size_bytes == 128 * 1024
+
+    def test_extent_only(self):
+        ts = parse_create_tablespace("CREATE TABLESPACE t (EXTENT SIZE 64K)")
+        assert ts.region is None
+        assert ts.extent_size_bytes == 64 * 1024
+
+    def test_unknown_parameter(self):
+        with pytest.raises(DDLError):
+            parse_create_tablespace("CREATE TABLESPACE t (COMPRESSION=ON)")
+
+    def test_not_a_tablespace(self):
+        with pytest.raises(DDLError):
+            parse_create_tablespace("CREATE TABLE t (a INT)")
+
+
+class TestCreateTable:
+    def test_multi_column_with_tablespace(self):
+        stmt = parse_create_table(
+            "CREATE TABLE T (t_id NUMBER(3), name CHAR(10), amount DECIMAL(10,2)) TABLESPACE ts"
+        )
+        assert stmt.name == "T"
+        assert stmt.tablespace == "ts"
+        assert [c.name for c in stmt.schema] == ["t_id", "name", "amount"]
+
+    def test_without_tablespace(self):
+        stmt = parse_create_table("CREATE TABLE t (a INT)")
+        assert stmt.tablespace is None
+
+    def test_multiline(self):
+        stmt = parse_create_table(
+            """CREATE TABLE t (
+                a INT,
+                b CHAR(4)
+            )"""
+        )
+        assert len(stmt.schema) == 2
+
+    def test_duplicate_column_rejected(self):
+        with pytest.raises(DDLError):
+            parse_create_table("CREATE TABLE t (a INT, a INT)")
+
+
+class TestCreateIndex:
+    def test_unique_composite(self):
+        stmt = parse_create_index(
+            "CREATE UNIQUE INDEX c_idx ON customer (c_w_id, c_d_id, c_id) TABLESPACE ts"
+        )
+        assert stmt.unique
+        assert stmt.columns == ("c_w_id", "c_d_id", "c_id")
+        assert stmt.tablespace == "ts"
+
+    def test_non_unique(self):
+        stmt = parse_create_index("CREATE INDEX i ON t (a)")
+        assert not stmt.unique
+        assert stmt.tablespace is None
+
+    def test_not_an_index(self):
+        with pytest.raises(DDLError):
+            parse_create_index("CREATE TABLE t (a INT)")
+
+
+class TestStatementKind:
+    def test_all_kinds(self):
+        cases = {
+            "CREATE REGION rg (DIES=2)": "region",
+            "DROP REGION rg": "drop_region",
+            "CREATE TABLESPACE t (REGION=rg)": "tablespace",
+            "CREATE TABLE t (a INT)": "table",
+            "CREATE INDEX i ON t (a)": "index",
+            "CREATE UNIQUE INDEX i ON t (a)": "index",
+            "DROP TABLE t": "drop_table",
+        }
+        for sql, kind in cases.items():
+            assert statement_kind(sql) == kind
+
+    def test_unsupported(self):
+        with pytest.raises(DDLError):
+            statement_kind("SELECT 1")
+
+    def test_drop_table_parse(self):
+        assert parse_drop_table("DROP TABLE t;").name == "t"
+        with pytest.raises(DDLError):
+            parse_drop_table("DROP REGION r")

@@ -1,0 +1,132 @@
+"""Tests for the DML layer (INSERT / SELECT / UPDATE / DELETE)."""
+
+import pytest
+
+from repro.db import Database, DMLError
+from repro.db.dml import parse_literal, parse_where
+from repro.db.query import Between, Eq
+from repro.flash import FlashGeometry, instant_timing
+
+
+def make_db():
+    geometry = FlashGeometry(
+        channels=2,
+        chips_per_channel=2,
+        dies_per_chip=2,
+        planes_per_die=1,
+        blocks_per_plane=32,
+        pages_per_block=16,
+        page_size=512,
+        oob_size=16,
+        max_pe_cycles=100_000,
+    )
+    db = Database.on_native_flash(
+        geometry=geometry, timing=instant_timing(), buffer_pages=64
+    )
+    db.execute("CREATE TABLE emp (dept INT, id INT, name CHAR(12), salary FLOAT)")
+    db.create_index("emp_pk", "emp", ["dept", "id"], unique=True)
+    return db
+
+
+class TestLiterals:
+    def test_kinds(self):
+        assert parse_literal("42") == 42
+        assert parse_literal("-7") == -7
+        assert parse_literal("3.5") == 3.5
+        assert parse_literal("'hello'") == "hello"
+        assert parse_literal("'it''s'") == "it's"
+
+    def test_invalid(self):
+        with pytest.raises(DMLError):
+            parse_literal("unquoted")
+
+
+class TestWhereParsing:
+    def test_eq_and_between(self):
+        conditions = parse_where("dept = 1 AND id BETWEEN 5 AND 10 AND name = 'x'")
+        assert conditions == [Eq("dept", 1), Between("id", 5, 10), Eq("name", "x")]
+
+    def test_empty(self):
+        assert parse_where(None) == []
+        assert parse_where("") == []
+
+    def test_garbage_rejected(self):
+        with pytest.raises(DMLError):
+            parse_where("dept LIKE 'x%'")
+
+
+class TestRoundTrip:
+    def seed(self, db):
+        for dept in (1, 2):
+            for i in range(5):
+                db.execute(
+                    f"INSERT INTO emp VALUES ({dept}, {i}, 'p{dept}_{i}', {1000.0 + i})"
+                )
+
+    def test_insert_and_select_star(self):
+        db = make_db()
+        self.seed(db)
+        result = db.query("SELECT * FROM emp WHERE dept = 1 AND id = 3")
+        assert result.rows == [(1, 3, "p1_3", 1003.0)]
+
+    def test_insert_with_column_list(self):
+        db = make_db()
+        db.execute("INSERT INTO emp (salary, dept, id, name) VALUES (9.5, 7, 1, 'x')")
+        result = db.query("SELECT salary FROM emp WHERE dept = 7")
+        assert result.rows == [(9.5,)]
+
+    def test_select_projection_and_range(self):
+        db = make_db()
+        self.seed(db)
+        result = db.query("SELECT name FROM emp WHERE dept = 2 AND id BETWEEN 1 AND 3")
+        assert result.rows == [("p2_1",), ("p2_2",), ("p2_3",)]
+
+    def test_select_limit(self):
+        db = make_db()
+        self.seed(db)
+        result = db.query("SELECT * FROM emp LIMIT 4")
+        assert len(result.rows) == 4
+
+    def test_update(self):
+        db = make_db()
+        self.seed(db)
+        result = db.query("UPDATE emp SET salary = 0.0 WHERE dept = 1")
+        assert result.affected == 5
+        rows = db.query("SELECT salary FROM emp WHERE dept = 1").rows
+        assert all(r == (0.0,) for r in rows)
+        # other department untouched
+        others = db.query("SELECT salary FROM emp WHERE dept = 2").rows
+        assert all(r != (0.0,) for r in others)
+
+    def test_update_keyed_column_maintains_index(self):
+        db = make_db()
+        self.seed(db)
+        db.query("UPDATE emp SET id = 99 WHERE dept = 1 AND id = 0")
+        assert db.query("SELECT * FROM emp WHERE dept = 1 AND id = 0").rows == []
+        assert db.query("SELECT * FROM emp WHERE dept = 1 AND id = 99").affected == 1
+
+    def test_delete(self):
+        db = make_db()
+        self.seed(db)
+        result = db.query("DELETE FROM emp WHERE dept = 2")
+        assert result.affected == 5
+        assert db.query("SELECT * FROM emp").affected == 5
+
+    def test_execute_returns_time(self):
+        db = make_db()
+        t = db.execute("INSERT INTO emp VALUES (1, 1, 'a', 1.0)", at=100.0)
+        assert t >= 100.0
+
+    def test_string_with_quote(self):
+        db = make_db()
+        db.execute("INSERT INTO emp VALUES (1, 1, 'o''brien', 1.0)")
+        assert db.query("SELECT name FROM emp WHERE dept = 1").rows == [("o'brien",)]
+
+    def test_bad_statements(self):
+        db = make_db()
+        with pytest.raises(DMLError):
+            db.query("SELECT FROM emp")
+        with pytest.raises(DMLError):
+            db.query("INSERT emp VALUES (1)")
+        with pytest.raises(DMLError):
+            db.query("MERGE INTO emp")

@@ -1,0 +1,140 @@
+"""Tests for the query layer (conditions, planning, execution)."""
+
+import pytest
+
+from repro.db import Database, Schema, char_col, int_col
+from repro.db.query import Between, Eq, explain, plan_query, select
+from repro.flash import FlashGeometry, instant_timing
+
+
+def make_table():
+    geometry = FlashGeometry(
+        channels=2,
+        chips_per_channel=2,
+        dies_per_chip=2,
+        planes_per_die=1,
+        blocks_per_plane=32,
+        pages_per_block=16,
+        page_size=512,
+        oob_size=16,
+        max_pe_cycles=100_000,
+    )
+    db = Database.on_native_flash(
+        geometry=geometry, timing=instant_timing(), buffer_pages=64
+    )
+    db.execute("CREATE TABLE people (dept INT, emp INT, name CHAR(10), age INT)")
+    db.create_index("people_pk", "people", ["dept", "emp"], unique=True)
+    db.create_index("people_age", "people", ["age"])
+    table = db.table("people")
+    t = 0.0
+    for dept in range(4):
+        for emp in range(25):
+            __, t = table.insert((dept, emp, f"p{dept}_{emp}", 20 + (emp % 40)), t)
+    return db, table
+
+
+class TestPlanning:
+    def test_full_eq_prefix_uses_unique_index(self):
+        __, table = make_table()
+        plan = plan_query(table, [Eq("dept", 1), Eq("emp", 3)])
+        assert plan.index_name == "people_pk"
+        assert plan.eq_prefix == 2
+
+    def test_partial_prefix(self):
+        __, table = make_table()
+        plan = plan_query(table, [Eq("dept", 1)])
+        assert plan.index_name == "people_pk"
+        assert plan.eq_prefix == 1
+
+    def test_eq_plus_range(self):
+        __, table = make_table()
+        plan = plan_query(table, [Eq("dept", 2), Between("emp", 5, 10)])
+        assert plan.index_name == "people_pk"
+        assert plan.has_range
+
+    def test_range_only_secondary(self):
+        __, table = make_table()
+        plan = plan_query(table, [Between("age", 30, 35)])
+        assert plan.index_name == "people_age"
+
+    def test_unindexed_column_scans(self):
+        __, table = make_table()
+        plan = plan_query(table, [Eq("name", "p1_3")])
+        assert plan.kind == "scan"
+
+    def test_explain_strings(self):
+        __, table = make_table()
+        assert explain(table, [Eq("dept", 1)]).startswith("index people_pk")
+        assert explain(table, [Eq("name", "x")]) == "scan"
+        assert explain(table) == "scan"
+
+
+class TestExecution:
+    def test_point_query(self):
+        __, table = make_table()
+        rows, __ = select(table, [Eq("dept", 2), Eq("emp", 7)])
+        assert rows == [(2, 7, "p2_7", 27)]
+
+    def test_prefix_query(self):
+        __, table = make_table()
+        rows, __ = select(table, [Eq("dept", 3)])
+        assert len(rows) == 25
+        assert all(r[0] == 3 for r in rows)
+
+    def test_range_query(self):
+        __, table = make_table()
+        rows, __ = select(table, [Eq("dept", 0), Between("emp", 5, 9)])
+        assert [r[1] for r in rows] == [5, 6, 7, 8, 9]
+
+    def test_open_range(self):
+        __, table = make_table()
+        rows, __ = select(table, [Eq("dept", 0), Between("emp", 20, None)])
+        assert [r[1] for r in rows] == [20, 21, 22, 23, 24]
+
+    def test_residual_filter_on_index_path(self):
+        __, table = make_table()
+        rows, __ = select(table, [Eq("dept", 1), Eq("age", 25)])
+        assert all(r[0] == 1 and r[3] == 25 for r in rows)
+        assert len(rows) == 1  # emp == 5
+
+    def test_scan_with_filter(self):
+        __, table = make_table()
+        rows, __ = select(table, [Eq("name", "p1_3")])
+        assert rows == [(1, 3, "p1_3", 23)]
+
+    def test_projection(self):
+        __, table = make_table()
+        rows, __ = select(table, [Eq("dept", 0), Eq("emp", 0)], columns=["name", "age"])
+        assert rows == [("p0_0", 20)]
+
+    def test_limit(self):
+        __, table = make_table()
+        rows, __ = select(table, [Eq("dept", 0)], limit=3)
+        assert len(rows) == 3
+
+    def test_no_conditions_full_scan(self):
+        __, table = make_table()
+        rows, __ = select(table)
+        assert len(rows) == 100
+
+    def test_index_path_equals_scan_path(self):
+        """Same answer whichever path the planner picks."""
+        __, table = make_table()
+        via_index, __ = select(table, [Eq("dept", 2), Between("emp", 3, 11)])
+        all_rows, __ = select(table)
+        via_scan = [r for r in all_rows if r[0] == 2 and 3 <= r[1] <= 11]
+        assert sorted(via_index) == sorted(via_scan)
+
+    def test_unknown_column_rejected(self):
+        from repro.db import SchemaError
+
+        __, table = make_table()
+        with pytest.raises(SchemaError):
+            select(table, [Eq("salary", 1)])
+
+    def test_string_range(self):
+        __, table = make_table()
+        db, ___ = None, None
+        rows, __ = select(table, [Between("age", None, 21)])
+        assert all(r[3] <= 21 for r in rows)
+        assert rows

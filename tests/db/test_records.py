@@ -1,0 +1,99 @@
+"""Unit tests for schemas and the row codec."""
+
+import pytest
+
+from repro.db import Column, ColumnType, RowCodec, Schema, SchemaError, char_col, float_col, int_col, varchar_col
+
+
+def sample_schema():
+    return Schema(
+        [
+            int_col("id"),
+            char_col("code", 4),
+            varchar_col("name", 16),
+            float_col("amount"),
+        ]
+    )
+
+
+class TestSchema:
+    def test_column_positions(self):
+        s = sample_schema()
+        assert s.position("id") == 0
+        assert s.position("amount") == 3
+
+    def test_unknown_column_rejected(self):
+        with pytest.raises(SchemaError):
+            sample_schema().position("nope")
+
+    def test_duplicate_columns_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([int_col("a"), int_col("a")])
+
+    def test_empty_schema_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema([])
+
+    def test_text_columns_need_length(self):
+        with pytest.raises(SchemaError):
+            Column("c", ColumnType.CHAR)
+
+    def test_fixed_row_size(self):
+        fixed = Schema([int_col("a"), char_col("b", 10)])
+        assert fixed.fixed_row_size == 18
+        assert sample_schema().fixed_row_size is None
+
+    def test_max_row_size(self):
+        assert sample_schema().max_row_size == 8 + 4 + (2 + 16) + 8
+
+    def test_project(self):
+        sub = sample_schema().project(["name", "id"])
+        assert [c.name for c in sub] == ["name", "id"]
+
+
+class TestRowCodec:
+    def test_roundtrip(self):
+        codec = RowCodec(sample_schema())
+        row = (42, "ab", "hello world", 3.25)
+        assert codec.decode(codec.encode(row)) == row
+
+    def test_char_padding_stripped(self):
+        codec = RowCodec(Schema([char_col("c", 8)]))
+        assert codec.decode(codec.encode(("hi",))) == ("hi",)
+
+    def test_empty_strings(self):
+        codec = RowCodec(Schema([char_col("c", 4), varchar_col("v", 4)]))
+        assert codec.decode(codec.encode(("", ""))) == ("", "")
+
+    def test_negative_and_large_ints(self):
+        codec = RowCodec(Schema([int_col("i")]))
+        for value in (-(2**62), -1, 0, 2**62):
+            assert codec.decode(codec.encode((value,))) == (value,)
+
+    def test_arity_mismatch_rejected(self):
+        codec = RowCodec(sample_schema())
+        with pytest.raises(SchemaError):
+            codec.encode((1, "ab"))
+
+    def test_type_mismatch_rejected(self):
+        codec = RowCodec(Schema([int_col("i")]))
+        with pytest.raises(SchemaError):
+            codec.encode(("not an int",))
+
+    def test_overlong_text_rejected(self):
+        codec = RowCodec(Schema([char_col("c", 2)]))
+        with pytest.raises(SchemaError):
+            codec.encode(("toolong",))
+
+    def test_int_accepted_for_float_column(self):
+        codec = RowCodec(Schema([float_col("f")]))
+        assert codec.decode(codec.encode((3,))) == (3.0,)
+
+    def test_trailing_bytes_detected(self):
+        codec = RowCodec(Schema([int_col("i")]))
+        with pytest.raises(SchemaError):
+            codec.decode(codec.encode((1,)) + b"junk")
+
+    def test_unicode_varchar(self):
+        codec = RowCodec(Schema([varchar_col("v", 12)]))
+        assert codec.decode(codec.encode(("héllo",))) == ("héllo",)

@@ -1,0 +1,68 @@
+"""Unit tests for physical address packing and validation."""
+
+import pytest
+
+from repro.flash import AddressError, PhysicalBlockAddress, PhysicalPageAddress, small_geometry
+
+
+class TestPhysicalPageAddress:
+    def test_to_int_roundtrip_every_page(self):
+        g = small_geometry()
+        seen = set()
+        for die in range(g.dies):
+            for block in range(g.blocks_per_die):
+                for page in range(g.pages_per_block):
+                    ppa = PhysicalPageAddress(die, block, page)
+                    packed = ppa.to_int(g)
+                    seen.add(packed)
+                    assert PhysicalPageAddress.from_int(packed, g) == ppa
+        assert seen == set(range(g.total_pages))
+
+    def test_validate_rejects_out_of_range(self):
+        g = small_geometry()
+        with pytest.raises(AddressError):
+            PhysicalPageAddress(g.dies, 0, 0).validate(g)
+        with pytest.raises(AddressError):
+            PhysicalPageAddress(0, g.blocks_per_die, 0).validate(g)
+        with pytest.raises(AddressError):
+            PhysicalPageAddress(0, 0, g.pages_per_block).validate(g)
+
+    def test_from_int_rejects_out_of_range(self):
+        g = small_geometry()
+        with pytest.raises(ValueError):
+            PhysicalPageAddress.from_int(g.total_pages, g)
+        with pytest.raises(ValueError):
+            PhysicalPageAddress.from_int(-1, g)
+
+    def test_block_address(self):
+        ppa = PhysicalPageAddress(1, 2, 3)
+        assert ppa.block_address() == PhysicalBlockAddress(1, 2)
+
+    def test_ordering_is_lexicographic(self):
+        assert PhysicalPageAddress(0, 1, 5) < PhysicalPageAddress(1, 0, 0)
+        assert PhysicalPageAddress(1, 0, 0) < PhysicalPageAddress(1, 0, 1)
+
+    def test_hashable(self):
+        assert len({PhysicalPageAddress(0, 0, 0), PhysicalPageAddress(0, 0, 0)}) == 1
+
+
+class TestPhysicalBlockAddress:
+    def test_to_int_roundtrip(self):
+        g = small_geometry()
+        for die in range(g.dies):
+            for block in range(g.blocks_per_die):
+                pba = PhysicalBlockAddress(die, block)
+                assert PhysicalBlockAddress.from_int(pba.to_int(g), g) == pba
+
+    def test_page_accessor(self):
+        pba = PhysicalBlockAddress(2, 3)
+        assert pba.page(7) == PhysicalPageAddress(2, 3, 7)
+
+    def test_from_int_rejects_out_of_range(self):
+        g = small_geometry()
+        with pytest.raises(ValueError):
+            PhysicalBlockAddress.from_int(g.total_blocks, g)
+
+    def test_str_forms(self):
+        assert "d1" in str(PhysicalPageAddress(1, 2, 3))
+        assert "b2" in str(PhysicalBlockAddress(1, 2))

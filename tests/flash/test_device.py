@@ -1,0 +1,179 @@
+"""Unit tests for the native flash device: commands, timing, contention."""
+
+import pytest
+
+from repro.flash import (
+    CopybackError,
+    DataError,
+    FlashDevice,
+    PageMetadata,
+    PhysicalBlockAddress,
+    PhysicalPageAddress,
+    TimingModel,
+    small_geometry,
+)
+
+
+@pytest.fixture
+def device():
+    return FlashDevice(small_geometry())
+
+
+def ppa(die=0, block=0, page=0):
+    return PhysicalPageAddress(die, block, page)
+
+
+class TestBasicCommands:
+    def test_program_then_read_roundtrip(self, device):
+        meta = PageMetadata(lpn=42, seq=1)
+        device.program_page(ppa(), b"hello", meta)
+        result = device.read_page(ppa())
+        assert result.data == b"hello"
+        assert result.metadata.lpn == 42
+
+    def test_read_metadata_returns_oob_only(self, device):
+        device.program_page(ppa(), b"hello", PageMetadata(lpn=7))
+        result = device.read_metadata(ppa())
+        assert result.data is None
+        assert result.metadata.lpn == 7
+
+    def test_oversized_payload_rejected(self, device):
+        big = b"x" * (device.geometry.page_size + 1)
+        with pytest.raises(DataError):
+            device.program_page(ppa(), big)
+
+    def test_non_bytes_payload_rejected(self, device):
+        with pytest.raises(DataError):
+            device.program_page(ppa(), "not bytes")
+
+    def test_erase_then_reprogram(self, device):
+        device.program_page(ppa(), b"one")
+        device.erase_block(PhysicalBlockAddress(0, 0))
+        device.program_page(ppa(), b"two")
+        assert device.read_page(ppa()).data == b"two"
+
+    def test_stats_count_commands(self, device):
+        device.program_page(ppa(), b"x")
+        device.read_page(ppa())
+        device.erase_block(PhysicalBlockAddress(0, 0))
+        assert device.stats.programs == 1
+        assert device.stats.reads == 1
+        assert device.stats.erases == 1
+
+
+class TestCopyback:
+    def test_copyback_moves_data_on_die(self, device):
+        device.program_page(ppa(0, 0, 0), b"payload", PageMetadata(lpn=5))
+        device.copyback(ppa(0, 0, 0), ppa(0, 1, 0))
+        result = device.read_page(ppa(0, 1, 0))
+        assert result.data == b"payload"
+        assert result.metadata.lpn == 5
+        assert device.stats.copybacks == 1
+
+    def test_copyback_can_refresh_metadata(self, device):
+        device.program_page(ppa(0, 0, 0), b"p", PageMetadata(lpn=5, seq=1))
+        device.copyback(ppa(0, 0, 0), ppa(0, 1, 0), metadata=PageMetadata(lpn=5, seq=9))
+        assert device.read_page(ppa(0, 1, 0)).metadata.seq == 9
+
+    def test_cross_die_copyback_rejected(self, device):
+        device.program_page(ppa(0, 0, 0), b"p")
+        with pytest.raises(CopybackError):
+            device.copyback(ppa(0, 0, 0), ppa(1, 0, 0))
+
+    def test_strict_plane_copyback(self):
+        geometry = small_geometry()
+        # small geometry has 1 plane per die, so use a 2-plane variant
+        from dataclasses import replace
+
+        geometry = replace(geometry, planes_per_die=2)
+        device = FlashDevice(geometry, strict_plane_copyback=True)
+        device.program_page(ppa(0, 0, 0), b"p")
+        with pytest.raises(CopybackError):
+            device.copyback(ppa(0, 0, 0), ppa(0, 1, 0))  # plane 0 -> plane 1
+        device.copyback(ppa(0, 0, 0), ppa(0, 2, 0))  # plane 0 -> plane 0
+
+
+class TestTimingAndContention:
+    def test_read_latency_includes_array_and_bus(self):
+        t = TimingModel(read_us=100, program_us=0, erase_us=0, bus_us_per_page=10)
+        device = FlashDevice(small_geometry(), timing=t)
+        device.program_page(ppa(), b"x", at=0.0)
+        start = device.clock.now
+        result = device.read_page(ppa(), at=start)
+        assert result.end_us == pytest.approx(start + 110)
+
+    def test_same_die_ops_serialize(self):
+        t = TimingModel(read_us=100, program_us=100, erase_us=0, bus_us_per_page=0)
+        device = FlashDevice(small_geometry(), timing=t)
+        device.program_page(ppa(0, 0, 0), b"a", at=0.0)
+        device.program_page(ppa(0, 0, 1), b"b", at=0.0)
+        r1 = device.read_page(ppa(0, 0, 0), at=300.0)
+        r2 = device.read_page(ppa(0, 0, 1), at=300.0)  # queued behind r1
+        assert r2.end_us == pytest.approx(r1.end_us + 100)
+
+    def test_different_dies_run_in_parallel(self):
+        t = TimingModel(read_us=100, program_us=100, erase_us=0, bus_us_per_page=0)
+        device = FlashDevice(small_geometry(), timing=t)
+        device.program_page(ppa(0, 0, 0), b"a", at=0.0)
+        device.program_page(ppa(2, 0, 0), b"b", at=0.0)  # die 2 is on channel 1
+        r1 = device.read_page(ppa(0, 0, 0), at=500.0)
+        r2 = device.read_page(ppa(2, 0, 0), at=500.0)
+        assert r1.end_us == pytest.approx(600)
+        assert r2.end_us == pytest.approx(600)
+
+    def test_channel_is_shared_between_dies(self):
+        # dies 0 and 1 share channel 0 in small_geometry
+        t = TimingModel(read_us=0, program_us=0, erase_us=0, bus_us_per_page=50)
+        device = FlashDevice(small_geometry(), timing=t)
+        r1 = device.program_page(ppa(0, 0, 0), b"a", at=0.0)
+        r2 = device.program_page(ppa(1, 0, 0), b"b", at=0.0)
+        assert r1.end_us == pytest.approx(50)
+        assert r2.end_us == pytest.approx(100)
+
+    def test_erase_does_not_use_channel(self):
+        t = TimingModel(read_us=0, program_us=0, erase_us=100, bus_us_per_page=50)
+        device = FlashDevice(small_geometry(), timing=t)
+        device.erase_block(PhysicalBlockAddress(0, 0), at=0.0)
+        assert device.channels[0].busy_us == 0.0
+
+    def test_copyback_does_not_use_channel(self):
+        t = TimingModel(read_us=10, program_us=10, erase_us=0, bus_us_per_page=50)
+        device = FlashDevice(small_geometry(), timing=t)
+        device.program_page(ppa(0, 0, 0), b"a", at=0.0)
+        before = device.channels[0].busy_us
+        device.copyback(ppa(0, 0, 0), ppa(0, 1, 0))
+        assert device.channels[0].busy_us == before
+
+    def test_clock_tracks_completion(self, device):
+        device.program_page(ppa(), b"x", at=0.0)
+        assert device.clock.now > 0
+
+
+class TestWearAndBadBlocks:
+    def test_initial_bad_blocks_deterministic(self):
+        g = small_geometry()
+        d1 = FlashDevice(g, initial_bad_block_rate=0.25, seed=7)
+        d2 = FlashDevice(g, initial_bad_block_rate=0.25, seed=7)
+        bad1 = [b.is_bad for die in d1.dies for b in die.blocks]
+        bad2 = [b.is_bad for die in d2.dies for b in die.blocks]
+        assert bad1 == bad2
+        assert any(bad1)
+
+    def test_erase_counts_reporting(self, device):
+        device.erase_block(PhysicalBlockAddress(0, 0))
+        device.erase_block(PhysicalBlockAddress(0, 0))
+        device.erase_block(PhysicalBlockAddress(1, 2))
+        assert device.max_erase_count() == 2
+        assert device.total_erase_count() == 3
+        counts = device.erase_counts()
+        assert counts[0][0] == 2
+        assert counts[1][2] == 1
+
+    def test_utilization_reporting(self):
+        t = TimingModel(read_us=100, program_us=0, erase_us=0, bus_us_per_page=0)
+        device = FlashDevice(small_geometry(), timing=t)
+        device.program_page(ppa(), b"x", at=0.0)
+        device.read_page(ppa(), at=device.clock.now)
+        utils = device.die_utilizations()
+        assert utils[0] > 0
+        assert utils[3] == 0

@@ -1,0 +1,101 @@
+"""Tests for multi-plane flash operations."""
+
+import pytest
+
+from repro.flash import (
+    CopybackError,
+    DataError,
+    FlashDevice,
+    FlashGeometry,
+    PhysicalPageAddress,
+    TimingModel,
+)
+
+
+def make_device(**timing):
+    geometry = FlashGeometry(
+        channels=2,
+        chips_per_channel=1,
+        dies_per_chip=2,
+        planes_per_die=2,
+        blocks_per_plane=4,
+        pages_per_block=8,
+        page_size=512,
+        oob_size=16,
+        max_pe_cycles=1000,
+    )
+    defaults = dict(read_us=100, program_us=500, erase_us=0, bus_us_per_page=50)
+    defaults.update(timing)
+    return FlashDevice(geometry, timing=TimingModel(**defaults))
+
+
+def plane_pages(device):
+    """One fresh page in each plane of die 0 (blocks 0 and 1)."""
+    return [PhysicalPageAddress(0, 0, 0), PhysicalPageAddress(0, 1, 0)]
+
+
+class TestMultiPlaneProgram:
+    def test_programs_both_planes(self):
+        device = make_device()
+        device.program_multi_plane(plane_pages(device), [b"a", b"b"])
+        assert device.read_page(PhysicalPageAddress(0, 0, 0)).data == b"a"
+        assert device.read_page(PhysicalPageAddress(0, 1, 0)).data == b"b"
+        assert device.stats.programs == 2
+
+    def test_array_phase_paid_once(self):
+        device = make_device()
+        result = device.program_multi_plane(plane_pages(device), [b"a", b"b"], at=0.0)
+        # 2 transfers (50 each) + ONE program (500) = 600
+        assert result.end_us == pytest.approx(600)
+
+    def test_sequential_would_cost_more(self):
+        sequential = make_device()
+        t = sequential.program_page(PhysicalPageAddress(0, 0, 0), b"a", at=0.0).end_us
+        t = sequential.program_page(PhysicalPageAddress(0, 1, 0), b"b", at=t).end_us
+        multi = make_device()
+        m = multi.program_multi_plane(plane_pages(multi), [b"a", b"b"], at=0.0).end_us
+        assert m < t
+
+    def test_same_plane_rejected(self):
+        device = make_device()
+        pages = [PhysicalPageAddress(0, 0, 0), PhysicalPageAddress(0, 2, 0)]  # both plane 0
+        with pytest.raises(DataError):
+            device.program_multi_plane(pages, [b"a", b"b"])
+
+    def test_cross_die_rejected(self):
+        device = make_device()
+        pages = [PhysicalPageAddress(0, 0, 0), PhysicalPageAddress(1, 1, 0)]
+        with pytest.raises(CopybackError):
+            device.program_multi_plane(pages, [b"a", b"b"])
+
+    def test_arity_mismatch_rejected(self):
+        device = make_device()
+        with pytest.raises(DataError):
+            device.program_multi_plane(plane_pages(device), [b"only-one"])
+
+    def test_empty_rejected(self):
+        device = make_device()
+        with pytest.raises(DataError):
+            device.program_multi_plane([], [])
+
+
+class TestMultiPlaneRead:
+    def test_reads_both_planes(self):
+        device = make_device()
+        device.program_multi_plane(plane_pages(device), [b"x", b"y"])
+        results = device.read_multi_plane(plane_pages(device))
+        assert [r.data for r in results] == [b"x", b"y"]
+
+    def test_array_read_paid_once(self):
+        device = make_device()
+        device.program_multi_plane(plane_pages(device), [b"x", b"y"], at=0.0)
+        t = device.clock.now
+        results = device.read_multi_plane(plane_pages(device), at=t)
+        # one array read (100) + two transfers (50 each)
+        assert results[-1].end_us == pytest.approx(t + 200)
+
+    def test_same_plane_rejected(self):
+        device = make_device()
+        pages = [PhysicalPageAddress(0, 0, 0), PhysicalPageAddress(0, 2, 0)]
+        with pytest.raises(DataError):
+            device.read_multi_plane(pages)

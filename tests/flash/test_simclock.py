@@ -1,0 +1,82 @@
+"""Unit tests for the virtual clock and resource timelines."""
+
+import pytest
+
+from repro.flash import ResourceTimeline, SimClock
+
+
+class TestSimClock:
+    def test_starts_at_zero_by_default(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_to_moves_forward_only(self):
+        c = SimClock()
+        c.advance_to(100.0)
+        c.advance_to(50.0)
+        assert c.now == 100.0
+
+    def test_advance_by(self):
+        c = SimClock(start=10.0)
+        c.advance_by(5.0)
+        assert c.now == 15.0
+
+    def test_advance_by_negative_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().advance_by(-1.0)
+
+
+class TestResourceTimeline:
+    def test_reserve_when_free_starts_immediately(self):
+        r = ResourceTimeline()
+        start, end = r.reserve(10.0, 5.0)
+        assert (start, end) == (10.0, 15.0)
+
+    def test_reserve_queues_behind_prior_reservation(self):
+        r = ResourceTimeline()
+        r.reserve(0.0, 100.0)
+        start, end = r.reserve(10.0, 5.0)
+        assert (start, end) == (100.0, 105.0)
+
+    def test_busy_time_accumulates(self):
+        r = ResourceTimeline()
+        r.reserve(0.0, 30.0)
+        r.reserve(0.0, 20.0)
+        assert r.busy_us == 50.0
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(ValueError):
+            ResourceTimeline().reserve(0.0, -1.0)
+
+    def test_peek_start_does_not_reserve(self):
+        r = ResourceTimeline()
+        r.reserve(0.0, 100.0)
+        # instants inside the busy slot are pushed past it; later instants
+        # are free — and peeking never changes the timeline
+        assert r.peek_start(0.0) == 100.0
+        assert r.peek_start(50.0) == 100.0
+        assert r.peek_start(150.0) == 150.0
+        assert r.available_at == 100.0
+        start, __ = r.reserve(0.0, 10.0)
+        assert start == 100.0  # a real duration must wait for the gap
+
+    def test_gap_filling_uses_idle_time_before_future_reservations(self):
+        r = ResourceTimeline()
+        r.reserve(1000.0, 100.0)  # someone reserved far in the future
+        start, end = r.reserve(0.0, 50.0)
+        assert (start, end) == (0.0, 50.0)  # idle time before it is usable
+        start, end = r.reserve(0.0, 2000.0)  # too big for the gap
+        assert start == 1100.0
+
+    def test_gap_exact_fit(self):
+        r = ResourceTimeline()
+        r.reserve(0.0, 100.0)
+        r.reserve(200.0, 100.0)
+        start, end = r.reserve(0.0, 100.0)
+        assert (start, end) == (100.0, 200.0)
+
+    def test_utilization(self):
+        r = ResourceTimeline()
+        r.reserve(0.0, 25.0)
+        assert r.utilization(100.0) == pytest.approx(0.25)
+        assert r.utilization(0.0) == 0.0
+        assert r.utilization(10.0) == 1.0

@@ -1,0 +1,88 @@
+"""Unit tests for latency accumulators and device statistics."""
+
+import random
+
+import pytest
+
+from repro.flash import FlashStats, LatencyAccumulator
+
+
+class TestLatencyAccumulator:
+    def test_empty(self):
+        acc = LatencyAccumulator()
+        assert acc.mean_us == 0.0
+        assert acc.percentile_us(0.99) == 0.0
+
+    def test_mean_min_max(self):
+        acc = LatencyAccumulator()
+        for v in (10.0, 20.0, 30.0):
+            acc.record(v)
+        assert acc.mean_us == pytest.approx(20.0)
+        assert acc.min_us == 10.0
+        assert acc.max_us == 30.0
+
+    def test_percentiles_approximate_distribution(self):
+        rng = random.Random(1)
+        acc = LatencyAccumulator()
+        samples = sorted(rng.uniform(100, 10_000) for __ in range(5000))
+        for v in samples:
+            acc.record(v)
+        exact_p50 = samples[2500]
+        exact_p99 = samples[4950]
+        assert acc.percentile_us(0.5) == pytest.approx(exact_p50, rel=0.25)
+        assert acc.percentile_us(0.99) == pytest.approx(exact_p99, rel=0.25)
+        # conservative: the reported tail never undershoots badly
+        assert acc.percentile_us(0.99) >= exact_p99 * 0.85
+
+    def test_percentile_never_exceeds_max(self):
+        acc = LatencyAccumulator()
+        acc.record(123.0)
+        assert acc.percentile_us(1.0) <= 123.0
+
+    def test_heavy_tail_visible(self):
+        acc = LatencyAccumulator()
+        for __ in range(99):
+            acc.record(100.0)
+        acc.record(50_000.0)
+        assert acc.percentile_us(0.5) < 200.0
+        assert acc.percentile_us(0.995) > 10_000.0
+
+    def test_merge(self):
+        a, b = LatencyAccumulator(), LatencyAccumulator()
+        for v in (10.0, 20.0):
+            a.record(v)
+        for v in (30.0, 40.0):
+            b.record(v)
+        a.merge(b)
+        assert a.count == 4
+        assert a.mean_us == pytest.approx(25.0)
+        assert a.max_us == 40.0
+
+    def test_invalid_fraction(self):
+        with pytest.raises(ValueError):
+            LatencyAccumulator().percentile_us(0.0)
+        with pytest.raises(ValueError):
+            LatencyAccumulator().percentile_us(1.5)
+
+
+class TestFlashStats:
+    def test_per_die_counters(self):
+        stats = FlashStats(dies=4)
+        stats.record_read(2, 4096, 100.0)
+        stats.record_program(1, 4096, 500.0)
+        stats.record_erase(1)
+        stats.record_copyback(3)
+        assert stats.reads_per_die == [0, 0, 1, 0]
+        assert stats.programs_per_die == [0, 1, 0, 0]
+        assert stats.erases_per_die == [0, 1, 0, 0]
+        assert stats.copybacks_per_die == [0, 0, 0, 1]
+
+    def test_snapshot_and_delta(self):
+        before = FlashStats(dies=2)
+        after = FlashStats(dies=2)
+        after.record_read(0, 4096, 100.0)
+        after.record_program(0, 4096, 500.0)
+        delta = after.delta(before)
+        assert delta["reads"] == 1
+        assert delta["programs"] == 1
+        assert delta["bytes_read"] == 4096

@@ -1,0 +1,45 @@
+"""Unit tests for the NAND timing model."""
+
+import pytest
+
+from repro.flash import DEFAULT_TIMING, TimingModel, instant_timing
+
+
+class TestTimingModel:
+    def test_defaults_are_slc_class(self):
+        assert DEFAULT_TIMING.read_us < DEFAULT_TIMING.program_us < DEFAULT_TIMING.erase_us
+
+    def test_copyback_is_read_plus_program(self):
+        t = TimingModel(read_us=100, program_us=400, copyback_overhead_us=5)
+        assert t.copyback_us == 505
+
+    def test_bus_scales_with_partial_transfer(self):
+        t = TimingModel(bus_us_per_page=100)
+        assert t.bus_us(4096, 4096) == 100
+        assert t.bus_us(2048, 4096) == 50
+        assert t.bus_us(64, 4096) == pytest.approx(100 * 64 / 4096)
+
+    def test_bus_never_exceeds_full_page(self):
+        t = TimingModel(bus_us_per_page=100)
+        assert t.bus_us(8192, 4096) == 100
+
+    def test_zero_bytes_free(self):
+        assert TimingModel().bus_us(0, 4096) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            TimingModel(read_us=-1)
+        with pytest.raises(ValueError):
+            TimingModel(bus_us_per_page=-0.1)
+
+    def test_instant_timing_is_all_zero(self):
+        t = instant_timing()
+        assert t.read_us == t.program_us == t.erase_us == 0.0
+        assert t.copyback_us == 0.0
+
+    def test_oob_read_cheaper_than_page_read(self):
+        """The recovery scan's economics: OOB transfers are tiny."""
+        t = DEFAULT_TIMING
+        full = t.read_us + t.bus_us(4096, 4096)
+        oob = t.read_us + t.bus_us(128, 4096)
+        assert oob < full

@@ -1,0 +1,123 @@
+"""Unit tests for DFTL (cached mapping table) behaviour."""
+
+import pytest
+
+from repro.flash import FlashDevice, FlashGeometry, instant_timing
+from repro.ftl import DFTL, PageMappingFTL
+
+
+def make_dftl(cmt_entries=8, **kwargs):
+    geometry = FlashGeometry(
+        channels=2,
+        chips_per_channel=1,
+        dies_per_chip=2,
+        planes_per_die=1,
+        blocks_per_plane=16,
+        pages_per_block=8,
+        page_size=256,
+        oob_size=16,
+        max_pe_cycles=10_000,
+    )
+    device = FlashDevice(geometry, timing=instant_timing())
+    defaults = dict(overprovision=0.4)
+    defaults.update(kwargs)
+    return DFTL(device, cmt_entries=cmt_entries, **defaults)
+
+
+class TestCorrectness:
+    def test_roundtrip_with_tiny_cmt(self):
+        dftl = make_dftl(cmt_entries=2)
+        payloads = {lba: bytes([lba]) * 8 for lba in range(32)}
+        for lba, payload in payloads.items():
+            dftl.write(lba, payload)
+        for lba, payload in payloads.items():
+            assert dftl.read(lba)[0] == payload
+
+    def test_rejects_zero_cmt(self):
+        with pytest.raises(ValueError):
+            make_dftl(cmt_entries=0)
+
+    def test_user_space_shrinks_for_translation_pages(self):
+        dftl = make_dftl()
+        geometry = dftl.geometry
+        device = FlashDevice(geometry, timing=instant_timing())
+        plain = PageMappingFTL(device, overprovision=0.4)
+        assert dftl.num_lbas < plain.num_lbas
+
+    def test_consistency_after_churn(self):
+        import random
+
+        rng = random.Random(3)
+        dftl = make_dftl(cmt_entries=4)
+        for __ in range(600):
+            dftl.write(rng.randrange(dftl.num_lbas // 2), b"x")
+        dftl.check_consistency()
+
+
+class TestTranslationTraffic:
+    def test_cmt_hit_costs_no_translation_io(self):
+        dftl = make_dftl(cmt_entries=8)
+        dftl.write(0, b"a")
+        before = dftl.stats.trans_reads
+        for __ in range(10):
+            dftl.read(0)  # always a CMT hit
+        assert dftl.stats.trans_reads == before
+
+    def test_misses_trigger_translation_reads(self):
+        dftl = make_dftl(cmt_entries=2)
+        # fill enough LBAs that their mapping entries must be evicted,
+        # persisted, and later demand-fetched
+        entries = dftl.entries_per_tpage  # 256 bytes / 8 = 32
+        lbas = [i * entries for i in range(4)]  # distinct translation pages
+        for lba in lbas:
+            if lba < dftl.num_lbas:
+                dftl.write(lba, b"x")
+        # revisit the first lba: its entry was evicted from the 2-entry CMT
+        dftl.read(lbas[0])
+        assert dftl.stats.trans_reads > 0
+
+    def test_dirty_evictions_write_translation_pages(self):
+        dftl = make_dftl(cmt_entries=2)
+        entries = dftl.entries_per_tpage
+        for i in range(6):
+            lba = (i * entries) % dftl.num_lbas
+            dftl.write(lba, b"x")
+        assert dftl.stats.trans_writes > 0
+
+    def test_cmt_respects_capacity(self):
+        dftl = make_dftl(cmt_entries=4)
+        for lba in range(16):
+            dftl.write(lba, b"x")
+        assert dftl.cmt_len() <= 4
+
+    def test_batched_eviction_cleans_siblings(self):
+        dftl = make_dftl(cmt_entries=4)
+        # four dirty entries in the same translation page
+        for lba in range(4):
+            dftl.write(lba, b"x")
+        before = dftl.stats.trans_writes
+        # force an eviction with a 5th entry from another translation page
+        other = dftl.entries_per_tpage
+        dftl.write(other, b"y")
+        # one translation write flushed all four siblings
+        assert dftl.stats.trans_writes == before + 1
+        # subsequent evictions of the cleaned siblings cost nothing
+        dftl.write(other + 1, b"y")
+        assert dftl.stats.trans_writes == before + 1
+
+
+class TestInteractionWithGC:
+    def test_translation_pages_survive_gc(self):
+        import random
+
+        rng = random.Random(7)
+        dftl = make_dftl(cmt_entries=4)
+        payloads = {}
+        for __ in range(800):
+            lba = rng.randrange(min(64, dftl.num_lbas))
+            payload = bytes([rng.randrange(256)]) * 4
+            dftl.write(lba, payload)
+            payloads[lba] = payload
+        assert dftl.stats.gc_erases > 0
+        for lba, payload in payloads.items():
+            assert dftl.read(lba)[0] == payload

@@ -1,0 +1,66 @@
+"""Integration: TPC-C with redo logging — replay reproduces the database."""
+
+from repro.core import traditional_placement
+from repro.db import Database, replay_log
+from repro.flash import FlashGeometry, instant_timing
+from repro.tpcc import Driver, check_consistency, load_database, tiny_scale
+
+
+def geometry():
+    return FlashGeometry(
+        channels=4,
+        chips_per_channel=2,
+        dies_per_chip=2,
+        planes_per_die=1,
+        blocks_per_plane=48,
+        pages_per_block=32,
+        page_size=2048,
+        oob_size=64,
+        max_pe_cycles=1_000_000,
+    )
+
+
+def build():
+    return Database.on_native_flash(
+        geometry=geometry(),
+        placement=traditional_placement(16),
+        timing=instant_timing(),
+        buffer_pages=256,
+    )
+
+
+class TestTPCCWithWAL:
+    def test_logged_run_replays_to_identical_state(self):
+        scale = tiny_scale()
+
+        # source: load is the "backup"; logging starts after it
+        source = build()
+        load_database(source, scale, seed=21)
+        source.enable_wal()
+        Driver(source, scale, terminals=4, seed=21).run(num_transactions=200)
+        assert source.wal.records_written > 0
+        t = source.wal.flush(source.now)
+
+        # target: restore the backup (same load), replay the log
+        target = build()
+        load_database(target, scale, seed=21)
+        applied, t = replay_log(target, source.wal, t)
+        assert applied > 0
+
+        for name in ("ORDER", "NEW_ORDER", "ORDERLINE", "CUSTOMER", "STOCK", "HISTORY"):
+            source_rows = sorted(r for __, r, ___ in source.table(name).scan(t))
+            target_rows = sorted(r for __, r, ___ in target.table(name).scan(t))
+            assert source_rows == target_rows, f"{name} diverged after replay"
+
+        check_consistency(target).raise_if_violated()
+
+    def test_wal_adds_write_traffic_to_its_region(self):
+        scale = tiny_scale()
+        db = build()
+        load_database(db, scale, seed=22)
+        db.enable_wal()
+        Driver(db, scale, terminals=4, seed=22).run(num_transactions=150)
+        db.wal.flush(db.now)
+        assert db.wal.flushed_pages > 0
+        ts = db.catalog.tablespace("ts_WAL")
+        assert db.backend.space_writes.get(ts.space_id, 0) == db.wal.flushed_pages

@@ -1,0 +1,109 @@
+"""Unit tests for shared block bookkeeping."""
+
+import pytest
+
+from repro.mapping import BlockInfo, BlockState, BookkeepingError, DieBookkeeping
+
+
+def make_info(pages=4):
+    return BlockInfo(die=0, block=0, pages_per_block=pages)
+
+
+class TestBlockInfo:
+    def test_note_write_tracks_validity(self):
+        info = make_info()
+        info.note_write(0, now_us=10.0)
+        info.note_write(1, now_us=20.0)
+        assert info.valid_count == 2
+        assert info.written == 2
+        assert info.last_write_us == 20.0
+
+    def test_out_of_order_write_rejected(self):
+        info = make_info()
+        with pytest.raises(BookkeepingError):
+            info.note_write(2, now_us=0.0)
+
+    def test_full_block_transitions_state(self):
+        info = make_info(pages=2)
+        info.note_write(0, 0.0)
+        assert info.state is BlockState.FREE  # state managed by pool; FULL set on fill
+        info.note_write(1, 0.0)
+        assert info.state is BlockState.FULL
+
+    def test_invalidate(self):
+        info = make_info()
+        info.note_write(0, 0.0)
+        info.invalidate(0)
+        assert info.valid_count == 0
+        assert info.invalid_count == 1
+
+    def test_double_invalidate_rejected(self):
+        info = make_info()
+        info.note_write(0, 0.0)
+        info.invalidate(0)
+        with pytest.raises(BookkeepingError):
+            info.invalidate(0)
+
+    def test_valid_pages_listing(self):
+        info = make_info()
+        for i in range(3):
+            info.note_write(i, 0.0)
+        info.invalidate(1)
+        assert info.valid_pages() == [0, 2]
+
+    def test_reset_after_erase(self):
+        info = make_info(pages=2)
+        info.note_write(0, 0.0)
+        info.note_write(1, 0.0)
+        info.reset_after_erase()
+        assert info.state is BlockState.FREE
+        assert info.written == 0
+        assert info.valid_count == 0
+
+
+class TestDieBookkeeping:
+    def test_take_free_block_marks_open(self):
+        die = DieBookkeeping(die=0, blocks_per_die=4, pages_per_block=4)
+        info = die.take_free_block()
+        assert info.state is BlockState.OPEN
+        assert die.free_count == 3
+
+    def test_take_free_blocks_exhausts(self):
+        die = DieBookkeeping(die=0, blocks_per_die=2, pages_per_block=4)
+        die.take_free_block()
+        die.take_free_block()
+        with pytest.raises(BookkeepingError):
+            die.take_free_block()
+
+    def test_return_erased_block_recycles(self):
+        die = DieBookkeeping(die=0, blocks_per_die=2, pages_per_block=2)
+        info = die.take_free_block()
+        info.note_write(0, 0.0)
+        info.note_write(1, 0.0)
+        die.return_erased_block(info.block)
+        assert die.free_count == 2
+        assert info.state is BlockState.FREE
+
+    def test_bad_block_not_recycled(self):
+        die = DieBookkeeping(die=0, blocks_per_die=2, pages_per_block=2)
+        die.mark_bad(0)
+        assert die.free_count == 1
+        die.return_erased_block(0)
+        assert die.free_count == 1
+
+    def test_gc_candidates_only_full_with_invalid(self):
+        die = DieBookkeeping(die=0, blocks_per_die=3, pages_per_block=2)
+        a = die.take_free_block()
+        a.note_write(0, 0.0)
+        a.note_write(1, 0.0)  # full, all valid -> not a candidate
+        b = die.take_free_block()
+        b.note_write(0, 0.0)
+        b.note_write(1, 0.0)
+        b.invalidate(0)  # full with one invalid -> candidate
+        assert die.gc_candidates() == [b]
+
+    def test_total_valid_pages(self):
+        die = DieBookkeeping(die=0, blocks_per_die=2, pages_per_block=2)
+        info = die.take_free_block()
+        info.note_write(0, 0.0)
+        assert die.total_valid_pages() == 1

@@ -1,0 +1,91 @@
+"""Tests for read-disturb tracking and refresh."""
+
+import pytest
+
+from repro.flash import FlashDevice, FlashGeometry, PhysicalPageAddress, instant_timing
+from repro.mapping import DieBookkeeping, FlashSpaceEngine, ManagementStats
+
+
+def make_engine(threshold):
+    geometry = FlashGeometry(
+        channels=1,
+        chips_per_channel=1,
+        dies_per_chip=2,
+        planes_per_die=1,
+        blocks_per_plane=12,
+        pages_per_block=8,
+        page_size=128,
+        oob_size=16,
+        max_pe_cycles=1_000_000,
+    )
+    device = FlashDevice(geometry, timing=instant_timing())
+    dies = [0, 1]
+    books = {d: DieBookkeeping(d, 12, 8) for d in dies}
+    return FlashSpaceEngine(
+        device, dies, books, ManagementStats(), read_disturb_threshold=threshold
+    )
+
+
+class TestBlockCounter:
+    def test_reads_counted_and_reset_by_erase(self):
+        from repro.flash import small_geometry
+
+        device = FlashDevice(small_geometry(), timing=instant_timing())
+        device.program_page(PhysicalPageAddress(0, 0, 0), b"x")
+        block = device.dies[0].blocks[0]
+        for __ in range(3):
+            device.read_page(PhysicalPageAddress(0, 0, 0))
+        assert block.reads_since_erase == 3
+        from repro.flash import PhysicalBlockAddress
+
+        device.erase_block(PhysicalBlockAddress(0, 0))
+        assert block.reads_since_erase == 0
+
+
+class TestRefresh:
+    def fill_block(self, engine, keys):
+        """Write keys until at least one FULL block exists; return one."""
+        at = 0.0
+        for key in keys:
+            at = engine.write(key, bytes([key % 256]), at)
+        from repro.mapping.blockinfo import BlockState
+
+        for die in engine.dies:
+            for info in engine.books[die].blocks:
+                if info.state is BlockState.FULL and info.valid_count > 0:
+                    return info, at
+        raise AssertionError("no full block produced")
+
+    def test_hammered_block_gets_refreshed(self):
+        engine = make_engine(threshold=50)
+        info, at = self.fill_block(engine, list(range(40)))
+        victim_keys = [
+            engine._rmap[PhysicalPageAddress(info.die, info.block, p).to_int(engine.geometry)]
+            for p in info.valid_pages()
+        ]
+        # hammer one key in the full block past the threshold
+        target = victim_keys[0]
+        for __ in range(60):
+            data, at = engine.read(target, at)
+        assert engine.stats.wl_erases >= 1
+        assert engine.stats.wl_moves > 0
+        # all data still readable afterwards
+        for key in range(40):
+            assert engine.read(key, at)[0] == bytes([key % 256])
+        engine.check_consistency()
+
+    def test_no_refresh_below_threshold(self):
+        engine = make_engine(threshold=10_000)
+        info, at = self.fill_block(engine, list(range(40)))
+        for key in range(40):
+            for __ in range(5):
+                __, at = engine.read(key, at)
+        assert engine.stats.wl_erases == 0
+
+    def test_disabled_by_default(self):
+        engine = make_engine(threshold=None)
+        info, at = self.fill_block(engine, list(range(40)))
+        target = next(iter(engine.keys()))
+        for __ in range(200):
+            __, at = engine.read(target, at)
+        assert engine.stats.wl_erases == 0

@@ -1,0 +1,62 @@
+"""Property-based tests: heap files behave like a dict of rows."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.db import BufferPool, HeapFile, Schema, int_col, varchar_col
+
+from tests.db.conftest import MemoryBackend
+
+
+def make_heap():
+    backend = MemoryBackend(page_size=256, io_cost=0.0)
+    sid = backend.create_space("h")
+    pool = BufferPool(backend, capacity=16, flusher_interval=0)
+    return HeapFile(pool, sid, Schema([int_col("k"), varchar_col("v", 40)]))
+
+
+text = st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=40
+)
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("insert"), st.integers(0, 1000), text),
+        st.tuples(st.just("update"), st.integers(0, 30), text),
+        st.tuples(st.just("delete"), st.integers(0, 30), st.just("")),
+    ),
+    max_size=100,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops)
+def test_heap_matches_dict(operations):
+    heap = make_heap()
+    live: dict = {}  # rid -> row
+    order: list = []  # insertion order of live rids
+    at = 0.0
+    for kind, key, value in operations:
+        if kind == "insert":
+            rid, at = heap.insert((key, value), at)
+            live[rid] = (key, value)
+            order.append(rid)
+        elif kind == "update" and order:
+            rid = order[key % len(order)]
+            row = (live[rid][0], value)
+            new_rid, at = heap.update(rid, row, at)
+            if new_rid != rid:
+                del live[rid]
+                order.remove(rid)
+                order.append(new_rid)
+            live[new_rid] = row
+        elif kind == "delete" and order:
+            rid = order[key % len(order)]
+            at = heap.delete(rid, at)
+            del live[rid]
+            order.remove(rid)
+    assert heap.row_count == len(live)
+    for rid, row in live.items():
+        assert heap.read(rid, at)[0] == row
+    scanned = {rid: row for rid, row, __ in heap.scan(at)}
+    assert scanned == live

@@ -1,0 +1,93 @@
+"""Property-based tests: Region behaves like a guarded dict of pages."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.core import NoFTLStore, RegionConfig, RegionError, RegionFullError
+from repro.flash import FlashGeometry, instant_timing
+
+
+def make_region():
+    geometry = FlashGeometry(
+        channels=2,
+        chips_per_channel=1,
+        dies_per_chip=1,
+        planes_per_die=1,
+        blocks_per_plane=10,
+        pages_per_block=8,
+        page_size=128,
+        oob_size=16,
+        max_pe_cycles=1_000_000,
+    )
+    store = NoFTLStore.create(geometry, timing=instant_timing())
+    return store, store.create_region(RegionConfig(name="rg"), num_dies=2)
+
+
+ops = st.lists(
+    st.one_of(
+        st.tuples(st.just("alloc"), st.integers(1, 6)),
+        st.tuples(st.just("write"), st.integers(0, 40)),
+        st.tuples(st.just("free"), st.integers(0, 40)),
+        st.tuples(st.just("read"), st.integers(0, 40)),
+    ),
+    max_size=80,
+)
+
+
+@settings(max_examples=50, deadline=None)
+@given(ops)
+def test_region_matches_model(operations):
+    store, region = make_region()
+    allocated: set[int] = set()
+    written: dict[int, bytes] = {}
+    t = 0.0
+    for kind, arg in operations:
+        if kind == "alloc":
+            try:
+                pages = region.allocate(arg)
+            except RegionFullError:
+                assert region.free_pages() < arg
+                continue
+            assert not (set(pages) & allocated), "allocator handed out a live rpn"
+            allocated.update(pages)
+        elif kind == "write":
+            payload = bytes([arg % 256])
+            if arg in allocated:
+                t = region.write(arg, payload, t)
+                written[arg] = payload
+            else:
+                try:
+                    region.write(arg, payload, t)
+                    raise AssertionError("write to unallocated rpn succeeded")
+                except RegionError:
+                    pass
+        elif kind == "free":
+            if arg in allocated:
+                region.free([arg])
+                allocated.discard(arg)
+                written.pop(arg, None)
+            else:
+                try:
+                    region.free([arg])
+                    raise AssertionError("free of unallocated rpn succeeded")
+                except RegionError:
+                    pass
+        elif kind == "read":
+            if arg in written:
+                assert region.read(arg, t)[0] == written[arg]
+    assert region.used_pages() == len(allocated)
+    assert region.engine.live_pages() == len(written)
+    region.engine.check_consistency()
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(1, 60), st.integers(0, 59))
+def test_allocate_free_allocate_roundtrip(count, free_index):
+    __, region = make_region()
+    count = min(count, region.capacity_pages())
+    pages = region.allocate(count)
+    victim = pages[free_index % len(pages)]
+    region.free([victim])
+    assert region.used_pages() == count - 1
+    [again] = region.allocate(1)
+    assert again == victim  # freed rpns recycle first

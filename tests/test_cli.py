@@ -1,0 +1,54 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_known_commands_parse(self):
+        parser = build_parser()
+        for argv in (
+            ["info"],
+            ["fig2", "--dies", "16"],
+            ["fig3", "--transactions", "100"],
+            ["hotcold", "--writes", "500"],
+            ["ftl", "--writes", "500"],
+            ["recover", "--writes", "200"],
+        ):
+            args = parser.parse_args(argv)
+            assert callable(args.fn)
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "repro" in out
+        assert "64 dies" in out
+
+    def test_fig2(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "rgStock" in out
+        assert "29" in out
+
+    def test_hotcold_small(self, capsys):
+        assert main(["hotcold", "--writes", "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "separated" in out
+
+    def test_ftl_small(self, capsys):
+        assert main(["ftl", "--writes", "1500"]) == 0
+        out = capsys.readouterr().out
+        assert "noftl-regions" in out
+
+    def test_recover_small(self, capsys):
+        assert main(["recover", "--writes", "600"]) == 0
+        out = capsys.readouterr().out
+        assert "recovered" in out
+        assert "verified" in out

@@ -1,0 +1,50 @@
+"""Shared fixtures for TPC-C tests: a tiny loaded database."""
+
+import pytest
+
+from repro.core import figure2_placement, traditional_placement
+from repro.db import Database
+from repro.flash import FlashGeometry, instant_timing
+from repro.tpcc import load_database, tiny_scale
+
+
+def tpcc_geometry():
+    """Enough flash for the tiny TPC-C population with headroom."""
+    return FlashGeometry(
+        channels=4,
+        chips_per_channel=2,
+        dies_per_chip=2,
+        planes_per_die=1,
+        blocks_per_plane=64,
+        pages_per_block=32,
+        page_size=2048,
+        oob_size=64,
+        max_pe_cycles=1_000_000,
+    )
+
+
+def loaded_db(placement=None, **db_kwargs):
+    geometry = tpcc_geometry()
+    placement = placement or traditional_placement(geometry.dies)
+    db = Database.on_native_flash(
+        geometry=geometry,
+        placement=placement,
+        timing=instant_timing(),
+        buffer_pages=256,
+        **db_kwargs,
+    )
+    scale = tiny_scale()
+    load_database(db, scale, seed=0)
+    return db, scale
+
+
+@pytest.fixture
+def tpcc_db():
+    """Freshly loaded tiny database (loading is cheap at this scale)."""
+    return loaded_db()
+
+
+@pytest.fixture
+def tpcc_db_figure2():
+    geometry = tpcc_geometry()
+    return loaded_db(placement=figure2_placement(geometry.dies))

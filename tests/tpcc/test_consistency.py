@@ -1,0 +1,44 @@
+"""Tests for the TPC-C consistency conditions (spec clause 3.3)."""
+
+import pytest
+
+from repro.tpcc import Driver
+from repro.tpcc.consistency import ConsistencyReport, check_consistency
+
+
+class TestFreshLoad:
+    def test_initial_population_is_consistent(self, tpcc_db):
+        db, __ = tpcc_db
+        report = check_consistency(db)
+        report.raise_if_violated()
+        assert report.checked > 0
+
+    def test_report_accumulates_violations(self):
+        report = ConsistencyReport()
+        assert report.ok
+        report.add("something broke")
+        assert not report.ok
+        with pytest.raises(AssertionError, match="something broke"):
+            report.raise_if_violated()
+
+
+class TestAfterWorkload:
+    def test_consistency_holds_after_mixed_transactions(self, tpcc_db):
+        db, scale = tpcc_db
+        Driver(db, scale, terminals=4, seed=11).run(num_transactions=300)
+        check_consistency(db).raise_if_violated()
+
+    def test_consistency_holds_on_figure2_placement(self, tpcc_db_figure2):
+        db, scale = tpcc_db_figure2
+        Driver(db, scale, terminals=4, seed=12).run(num_transactions=300)
+        check_consistency(db).raise_if_violated()
+
+    def test_consistency_detects_corruption(self, tpcc_db):
+        """Sanity: the checker actually notices a broken counter."""
+        db, scale = tpcc_db
+        district = db.table("DISTRICT")
+        rid, __, ___ = next(iter(district.scan(0.0)))
+        district.update_columns(rid, {"d_next_o_id": 999_999}, 0.0)
+        report = check_consistency(db)
+        assert not report.ok
+        assert any("C1" in v for v in report.violations)

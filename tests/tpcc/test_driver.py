@@ -1,0 +1,100 @@
+"""Tests for the closed-loop driver and metrics."""
+
+import pytest
+
+from repro.flash import TimingModel
+from repro.tpcc import ALL_KINDS, Driver, NEW_ORDER, PAYMENT, WorkloadMetrics
+from repro.tpcc.transactions import TxnResult
+
+from tests.tpcc.conftest import loaded_db, tpcc_geometry
+
+
+class TestMetrics:
+    def test_record_and_tps(self):
+        m = WorkloadMetrics(start_us=0.0)
+        m.record(TxnResult(NEW_ORDER, True, 0.0, 500_000.0))
+        m.record(TxnResult(PAYMENT, True, 500_000.0, 1_000_000.0))
+        assert m.transactions == 2
+        assert m.tps == pytest.approx(2.0)
+        assert m.response_ms(NEW_ORDER) == pytest.approx(500.0)
+
+    def test_aborts_counted_as_transactions(self):
+        m = WorkloadMetrics(start_us=0.0)
+        m.record(TxnResult(NEW_ORDER, False, 0.0, 100.0))
+        assert m.aborted == 1
+        assert m.transactions == 1
+
+    def test_summary_has_all_kinds(self):
+        m = WorkloadMetrics()
+        summary = m.summary()
+        for kind in ALL_KINDS:
+            assert f"{kind}_ms" in summary
+            assert f"{kind}_count" in summary
+
+
+class TestDriver:
+    def test_runs_requested_transaction_count(self, tpcc_db):
+        db, scale = tpcc_db
+        driver = Driver(db, scale, terminals=4, seed=1)
+        metrics = driver.run(num_transactions=60)
+        assert metrics.transactions == 60
+
+    def test_mix_roughly_matches_spec(self, tpcc_db):
+        db, scale = tpcc_db
+        driver = Driver(db, scale, terminals=4, seed=2)
+        metrics = driver.run(num_transactions=400)
+        counts = {kind: metrics.per_kind[kind].count for kind in ALL_KINDS}
+        assert counts[NEW_ORDER] == pytest.approx(180, abs=60)
+        assert counts[PAYMENT] == pytest.approx(172, abs=60)
+
+    def test_duration_stop_condition(self):
+        db, scale = loaded_db()
+        # real latencies so virtual time advances
+        db2, scale2 = loaded_db()
+        driver = Driver(db2, scale2, terminals=2, seed=3, think_time_us=1000.0)
+        metrics = driver.run(duration_us=200_000.0)
+        assert metrics.transactions > 0
+        assert metrics.makespan_us <= 400_000.0  # bounded overshoot
+
+    def test_deterministic_given_seed(self):
+        db_a, scale = loaded_db()
+        db_b, __ = loaded_db()
+        m_a = Driver(db_a, scale, terminals=4, seed=5).run(num_transactions=80)
+        m_b = Driver(db_b, scale, terminals=4, seed=5).run(num_transactions=80)
+        assert m_a.summary() == m_b.summary()
+
+    def test_terminals_spread_over_warehouses(self, tpcc_db):
+        db, scale = tpcc_db
+        driver = Driver(db, scale, terminals=6, seed=6)
+        w_ids = {t.w_id for t in driver.terminals}
+        assert w_ids == set(range(1, scale.warehouses + 1))
+
+    def test_invalid_configs_rejected(self, tpcc_db):
+        db, scale = tpcc_db
+        with pytest.raises(ValueError):
+            Driver(db, scale, terminals=0)
+        driver = Driver(db, scale, terminals=1)
+        with pytest.raises(ValueError):
+            driver.run()
+
+
+class TestDriverWithRealTiming:
+    def test_virtual_time_advances_with_io(self):
+        from repro.core import traditional_placement
+        from repro.db import Database
+        from repro.tpcc import load_database, tiny_scale
+
+        geometry = tpcc_geometry()
+        db = Database.on_native_flash(
+            geometry=geometry,
+            placement=traditional_placement(geometry.dies),
+            timing=TimingModel(),  # real latencies
+            buffer_pages=16,  # small pool -> real flash I/O
+        )
+        scale = tiny_scale()
+        load_database(db, scale, seed=0)
+        driver = Driver(db, scale, terminals=4, seed=7)
+        metrics = driver.run(num_transactions=50)
+        assert metrics.makespan_us > 0
+        assert metrics.tps > 0
+        assert metrics.response_ms(NEW_ORDER) >= 0

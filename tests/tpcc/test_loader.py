@@ -1,0 +1,98 @@
+"""Tests for schema creation and the initial population."""
+
+from repro.tpcc import INDEX_DEFS, TABLE_SCHEMAS, ScaleConfig, tiny_scale
+
+
+class TestSchemaCreation:
+    def test_all_tables_and_indexes_exist(self, tpcc_db):
+        db, __ = tpcc_db
+        for name in TABLE_SCHEMAS:
+            assert db.catalog.has_table(name)
+        for name, *_ in INDEX_DEFS:
+            assert db.catalog.has_index(name)
+
+    def test_index_tables_match(self, tpcc_db):
+        db, __ = tpcc_db
+        for name, table, columns, unique in INDEX_DEFS:
+            info = db.catalog.index(name)
+            assert info.table == table
+            assert info.columns == columns
+            assert info.unique == unique
+
+
+class TestPopulation:
+    def test_cardinalities(self, tpcc_db):
+        db, scale = tpcc_db
+        assert db.table("WAREHOUSE").row_count == scale.warehouses
+        assert db.table("DISTRICT").row_count == scale.warehouses * scale.districts
+        assert db.table("CUSTOMER").row_count == scale.customers
+        assert db.table("HISTORY").row_count == scale.customers
+        assert db.table("ITEM").row_count == scale.items
+        assert db.table("STOCK").row_count == scale.stock_rows
+        orders = scale.warehouses * scale.districts * scale.initial_orders_per_district
+        assert db.table("ORDER").row_count == orders
+
+    def test_open_orders_have_new_order_rows(self, tpcc_db):
+        db, scale = tpcc_db
+        expected_open = max(1, int(scale.initial_orders_per_district * 0.3))
+        per_district = expected_open
+        districts = scale.warehouses * scale.districts
+        assert db.table("NEW_ORDER").row_count == per_district * districts
+
+    def test_orderline_counts_match_orders(self, tpcc_db):
+        db, scale = tpcc_db
+        total_lines = 0
+        ol_cnt_pos = db.table("ORDER").schema.position("o_ol_cnt")
+        for __, row, ___ in db.table("ORDER").scan(0.0):
+            total_lines += row[ol_cnt_pos]
+        assert db.table("ORDERLINE").row_count == total_lines
+
+    def test_district_next_o_id(self, tpcc_db):
+        db, scale = tpcc_db
+        pos = db.table("DISTRICT").schema.position("d_next_o_id")
+        for __, row, ___ in db.table("DISTRICT").scan(0.0):
+            assert row[pos] == scale.initial_orders_per_district + 1
+
+    def test_customers_reachable_by_id_index(self, tpcc_db):
+        db, scale = tpcc_db
+        table = db.table("CUSTOMER")
+        for c_id in (1, scale.customers_per_district):
+            row, __ = table.lookup("C_IDX", (1, 1, c_id), 0.0)
+            assert row is not None
+            assert row[0] == c_id
+
+    def test_customers_reachable_by_name_index(self, tpcc_db):
+        db, scale = tpcc_db
+        table = db.table("CUSTOMER")
+        index = table.index("C_NAME_IDX")
+        from repro.tpcc import TPCCRandom
+
+        rng = TPCCRandom()
+        last = rng.last_name(0)  # customer 1's deterministic name
+        entries, __ = index.btree.range_scan(
+            (1, 1, last, ""), (1, 1, last, "\x7f" * 16), 0.0
+        )
+        assert entries
+
+    def test_stock_reachable_via_s_idx(self, tpcc_db):
+        db, scale = tpcc_db
+        row, __ = db.table("STOCK").lookup("S_IDX", (1, scale.items), 0.0)
+        assert row is not None
+
+    def test_load_lands_on_flash_after_checkpoint(self, tpcc_db):
+        db, __ = tpcc_db
+        stats = db.store.aggregate_stats()
+        assert stats["host_writes"] > 0
+
+    def test_scale_validation(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            ScaleConfig(warehouses=0)
+        with pytest.raises(ValueError):
+            ScaleConfig(min_order_lines=9, max_order_lines=5)
+
+    def test_tiny_scale_consistent(self):
+        scale = tiny_scale()
+        assert scale.customers == 1 * 2 * 8
+        assert scale.stock_rows == 40

@@ -1,0 +1,38 @@
+"""Unit tests for workload metrics (throughput, response times, tails)."""
+
+import pytest
+
+from repro.tpcc import ALL_KINDS, NEW_ORDER, PAYMENT, WorkloadMetrics
+from repro.tpcc.transactions import TxnResult
+
+
+class TestWorkloadMetrics:
+    def test_makespan_tracks_latest_completion(self):
+        m = WorkloadMetrics(start_us=100.0)
+        m.end_us = 100.0
+        m.record(TxnResult(NEW_ORDER, True, 100.0, 500.0))
+        m.record(TxnResult(PAYMENT, True, 200.0, 300.0))
+        assert m.makespan_us == 400.0
+
+    def test_tps_zero_when_no_time_elapsed(self):
+        m = WorkloadMetrics()
+        assert m.tps == 0.0
+
+    def test_percentiles_reflect_tail(self):
+        m = WorkloadMetrics(start_us=0.0)
+        for __ in range(99):
+            m.record(TxnResult(NEW_ORDER, True, 0.0, 1_000.0))  # 1 ms
+        m.record(TxnResult(NEW_ORDER, True, 0.0, 100_000.0))  # 100 ms outlier
+        assert m.response_ms(NEW_ORDER) == pytest.approx(1.99, rel=0.01)
+        assert m.response_percentile_ms(NEW_ORDER, 0.5) < 2.0
+        assert m.response_percentile_ms(NEW_ORDER, 0.995) > 50.0
+
+    def test_summary_includes_p99_per_kind(self):
+        m = WorkloadMetrics()
+        summary = m.summary()
+        for kind in ALL_KINDS:
+            assert f"{kind}_p99_ms" in summary
+
+    def test_response_us_property(self):
+        result = TxnResult(NEW_ORDER, True, 100.0, 350.0)
+        assert result.response_us == 250.0
