@@ -254,7 +254,7 @@ class Region:
         they held no data.  Returns the completion time of the scan.
         """
         at = self.engine.rebuild_from_flash(at)
-        live = set(self.engine.keys())
+        live = set(self.engine.iter_keys())
         self._allocated = live
         self._next_rpn = max(live) + 1 if live else 0
         self._free_rpns = [rpn for rpn in range(self._next_rpn) if rpn not in live]

@@ -40,9 +40,7 @@ class RegionManager:
             books = DieBookkeeping(
                 die.index, self.geometry.blocks_per_die, self.geometry.pages_per_block
             )
-            for b, blk in enumerate(die.blocks):
-                if blk.is_bad:
-                    books.mark_bad(b)
+            books.adopt_factory_bad_blocks(die)
             self._books[die.index] = books
             self._die_owner[die.index] = None
 

@@ -71,9 +71,7 @@ class PageMappingFTL(BlockDevice):
             for die in device.dies
         }
         for die in device.dies:
-            for b, blk in enumerate(die.blocks):
-                if blk.is_bad:
-                    books[die.index].mark_bad(b)
+            books[die.index].adopt_factory_bad_blocks(die)
         self._engine = FlashSpaceEngine(
             device,
             dies=list(range(self.geometry.dies)),
@@ -173,7 +171,7 @@ class PageMappingFTL(BlockDevice):
 
     def mapped_lbas(self) -> int:
         """Number of exported LBAs that currently hold data."""
-        return sum(1 for key in self._engine.keys() if key < self._num_lbas)
+        return sum(1 for key in self._engine.iter_keys() if key < self._num_lbas)
 
     def check_consistency(self) -> None:
         """Verify mapping/bookkeeping invariants (used by property tests)."""

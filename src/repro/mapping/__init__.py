@@ -12,6 +12,7 @@ from repro.mapping.policies import (
     POLICIES,
     choose_victim,
     choose_victim_cost_benefit,
+    choose_victim_from_books,
     choose_victim_greedy,
 )
 from repro.mapping.stats import ManagementStats
@@ -27,5 +28,6 @@ __all__ = [
     "SpaceFullError",
     "choose_victim",
     "choose_victim_cost_benefit",
+    "choose_victim_from_books",
     "choose_victim_greedy",
 ]

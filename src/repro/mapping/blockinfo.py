@@ -15,11 +15,30 @@ Keeping this in one place is not just code hygiene: it makes the FTL/NoFTL
 comparison honest, because both layers run the *same* bookkeeping and differ
 only where the paper says they differ (who runs it, with what knowledge, and
 over which dies).
+
+Everything here sits on the engine's per-write hot path, so the bookkeeping
+is **incremental**:
+
+* page validity is an int bitmask with a maintained ``valid_count`` —
+  no per-query popcount over a Python list;
+* the GC candidate set (FULL blocks with at least one invalid page) is
+  maintained on state transitions, bucketed by invalid-page count, giving
+  an O(1) :attr:`DieBookkeeping.has_reclaimable` predicate and near-O(1)
+  greedy victim selection instead of an O(blocks × pages) scan per write;
+* the free pool is an insertion-ordered dict, so membership tests,
+  targeted removal (wear leveller, bad-block retirement) and LIFO pops
+  are all O(1).
+
+The incremental state is redundant with the per-block ground truth, and
+:meth:`DieBookkeeping.check_invariants` /
+:meth:`DieBookkeeping.gc_candidates_scan` recompute it from scratch so
+property tests can prove the two never diverge.
 """
 
 from __future__ import annotations
 
 import enum
+from collections.abc import Iterator
 from dataclasses import dataclass, field
 
 
@@ -36,7 +55,7 @@ class BookkeepingError(Exception):
     """Inconsistent valid-page bookkeeping (a management-layer bug)."""
 
 
-@dataclass
+@dataclass(slots=True)
 class BlockInfo:
     """Management-layer view of one erase block.
 
@@ -44,7 +63,10 @@ class BlockInfo:
         die: global die index.
         block: die-local block index.
         state: lifecycle state.
-        valid: per-page validity bitmap (True = page holds live data).
+        valid_mask: per-page validity bitmask (bit ``p`` set = page ``p``
+            holds live data).
+        valid_count: number of set bits in ``valid_mask``, maintained
+            incrementally so reading it never popcounts.
         written: number of pages programmed since the last erase.
         last_write_us: virtual time of the most recent program into this
             block (used by cost-benefit GC as the block's "age").
@@ -54,18 +76,14 @@ class BlockInfo:
     block: int
     pages_per_block: int
     state: BlockState = BlockState.FREE
-    valid: list[bool] = field(default_factory=list)
+    valid_mask: int = 0
+    valid_count: int = 0
     written: int = 0
     last_write_us: float = 0.0
-
-    def __post_init__(self) -> None:
-        if not self.valid:
-            self.valid = [False] * self.pages_per_block
-
-    @property
-    def valid_count(self) -> int:
-        """Number of live pages in the block."""
-        return sum(self.valid)
+    #: owning :class:`DieBookkeeping`, notified of GC-relevant transitions
+    _owner: "DieBookkeeping | None" = field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def invalid_count(self) -> int:
@@ -77,46 +95,87 @@ class BlockInfo:
         """Whether every page has been written."""
         return self.written >= self.pages_per_block
 
+    def is_valid(self, page: int) -> bool:
+        """Whether ``page`` currently holds live data."""
+        return bool(self.valid_mask >> page & 1)
+
     def note_write(self, page: int, now_us: float) -> None:
         """Record that ``page`` was just programmed with live data."""
         if page != self.written:
             raise BookkeepingError(
                 f"block d{self.die}/b{self.block}: wrote page {page}, expected {self.written}"
             )
-        if self.valid[page]:
+        if self.valid_mask >> page & 1:
             raise BookkeepingError(f"page {page} already valid in d{self.die}/b{self.block}")
-        self.valid[page] = True
+        self.valid_mask |= 1 << page
+        self.valid_count += 1
         self.written += 1
         self.last_write_us = now_us
-        if self.is_full:
+        if self.written >= self.pages_per_block:
             self.state = BlockState.FULL
+            if self._owner is not None:
+                self._owner._on_block_full(self)
 
     def invalidate(self, page: int) -> None:
         """Record that the live data at ``page`` was superseded elsewhere."""
-        if not self.valid[page]:
+        bit = 1 << page
+        if not self.valid_mask & bit:
             raise BookkeepingError(
                 f"double invalidate of page {page} in d{self.die}/b{self.block}"
             )
-        self.valid[page] = False
+        self.valid_mask ^= bit
+        self.valid_count -= 1
+        if self.state is BlockState.FULL and self._owner is not None:
+            self._owner._on_full_block_invalidate(self)
 
     def valid_pages(self) -> list[int]:
-        """Indices of pages that still hold live data."""
-        return [i for i, v in enumerate(self.valid) if v]
+        """Indices of pages that still hold live data (ascending)."""
+        mask = self.valid_mask
+        pages = []
+        while mask:
+            low = mask & -mask
+            pages.append(low.bit_length() - 1)
+            mask ^= low
+        return pages
+
+    def seal(self) -> None:
+        """Close a partially-filled block: its unwritten tail counts invalid.
+
+        Used for relocation targets and recovery of partially-written
+        blocks; routing the state change through here (rather than poking
+        ``written``/``state`` directly) keeps the owner's candidate set
+        in sync — a sealed block with dead tail pages is reclaimable.
+        """
+        if self.written > 0 and not self.is_full:
+            self.written = self.pages_per_block
+            self.state = BlockState.FULL
+            if self._owner is not None:
+                self._owner._on_block_full(self)
 
     def reset_after_erase(self) -> None:
         """Return the block to the FREE state after an erase."""
-        self.valid = [False] * self.pages_per_block
+        self.valid_mask = 0
+        self.valid_count = 0
         self.written = 0
         self.state = BlockState.FREE
+        if self._owner is not None:
+            self._owner._drop_candidate(self.block)
 
 
 class DieBookkeeping:
     """All block bookkeeping for one die.
 
-    Maintains the free-block pool and exposes the block sets GC policies
-    scan.  The management layer is responsible for calling
-    :meth:`take_free_block` / :meth:`return_erased_block` around its write
-    frontiers and GC.
+    Maintains the free-block pool and the GC candidate set.  The management
+    layer is responsible for calling :meth:`take_free_block` /
+    :meth:`return_erased_block` around its write frontiers and GC.
+
+    The candidate set is kept incrementally: a block enters when it
+    transitions to FULL with at least one invalid page (or, already FULL,
+    suffers its first invalidation), moves between invalid-count buckets as
+    further pages die, and leaves on erase or retirement.  ``_candidate_bucket``
+    maps candidate block index to its current invalid count; ``_buckets``
+    is the inverse, and ``_max_invalid`` a lazily-repaired upper bound used
+    by greedy victim selection.
     """
 
     def __init__(self, die: int, blocks_per_die: int, pages_per_block: int) -> None:
@@ -125,24 +184,98 @@ class DieBookkeeping:
             BlockInfo(die=die, block=b, pages_per_block=pages_per_block)
             for b in range(blocks_per_die)
         ]
-        self._free: list[int] = list(range(blocks_per_die - 1, -1, -1))
+        for info in self.blocks:
+            info._owner = self
+        # insertion-ordered free pool: O(1) membership, removal, LIFO pop.
+        # Seeded high-to-low so the first pops hand out blocks 0, 1, 2, …
+        self._free: dict[int, None] = dict.fromkeys(range(blocks_per_die - 1, -1, -1))
+        self._candidate_bucket: dict[int, int] = {}  # block -> invalid_count
+        self._buckets: dict[int, set[int]] = {}  # invalid_count -> blocks
+        self._max_invalid = 0
 
     @property
     def free_count(self) -> int:
         """Number of blocks in the free pool."""
         return len(self._free)
 
+    @property
+    def has_reclaimable(self) -> bool:
+        """O(1): does any FULL block carry at least one invalid page?"""
+        return bool(self._candidate_bucket)
+
+    # ------------------------------------------------------------------
+    # Candidate-set maintenance (called by the owned BlockInfo records)
+    # ------------------------------------------------------------------
+    def _on_block_full(self, info: BlockInfo) -> None:
+        """A block just transitioned to FULL (write frontier or seal)."""
+        n = info.invalid_count
+        if n > 0:
+            self._put_candidate(info.block, n)
+
+    def _on_full_block_invalidate(self, info: BlockInfo) -> None:
+        """A page of a FULL block just died."""
+        self._put_candidate(info.block, info.invalid_count)
+
+    def _put_candidate(self, block: int, invalid_count: int) -> None:
+        old = self._candidate_bucket.get(block)
+        if old is not None:
+            self._buckets[old].discard(block)
+        self._candidate_bucket[block] = invalid_count
+        bucket = self._buckets.get(invalid_count)
+        if bucket is None:
+            bucket = self._buckets[invalid_count] = set()
+        bucket.add(block)
+        if invalid_count > self._max_invalid:
+            self._max_invalid = invalid_count
+
+    def _drop_candidate(self, block: int) -> None:
+        old = self._candidate_bucket.pop(block, None)
+        if old is not None:
+            self._buckets[old].discard(block)
+
+    def greedy_victim(self) -> BlockInfo | None:
+        """Candidate with the most invalid pages (lowest block breaks ties).
+
+        Bit-identical to a greedy scan over :meth:`gc_candidates_scan`:
+        the highest non-empty invalid-count bucket is found by repairing
+        ``_max_invalid`` downwards (amortised O(1) — it only rises one
+        invalidation at a time), then the lowest block index in it wins.
+        """
+        if not self._candidate_bucket:
+            return None
+        while self._max_invalid > 0 and not self._buckets.get(self._max_invalid):
+            self._max_invalid -= 1
+        return self.blocks[min(self._buckets[self._max_invalid])]
+
+    def iter_candidates(self) -> Iterator[BlockInfo]:
+        """The maintained candidate set as BlockInfo records (any order)."""
+        return map(self.blocks.__getitem__, self._candidate_bucket)
+
+    # ------------------------------------------------------------------
+    # Free pool
+    # ------------------------------------------------------------------
     def mark_bad(self, block: int) -> None:
         """Retire a block; it leaves the free pool permanently."""
         info = self.blocks[block]
         info.state = BlockState.BAD
-        if block in self._free:
-            self._free.remove(block)
+        self._free.pop(block, None)
+        self._drop_candidate(block)
+
+    def adopt_factory_bad_blocks(self, device_die) -> None:
+        """Mirror a device die's factory bad-block marks into the books.
+
+        Every management layer does this once at attach time; ``device_die``
+        only needs a ``blocks`` sequence whose entries expose ``is_bad``.
+        """
+        for b, blk in enumerate(device_die.blocks):
+            if blk.is_bad:
+                self.mark_bad(b)
 
     def take_free_block(self) -> BlockInfo:
         """Pop a free block and mark it OPEN (for a write frontier)."""
         while self._free:
-            block = self._free.pop()
+            block = next(reversed(self._free))
+            del self._free[block]
             info = self.blocks[block]
             if info.state is BlockState.FREE:
                 info.state = BlockState.OPEN
@@ -155,18 +288,23 @@ class DieBookkeeping:
         Used by crash recovery, which rebuilds validity from the flash
         itself; bad-block markings are preserved (they reflect hardware).
         """
+        self._candidate_bucket.clear()
+        self._buckets.clear()
+        self._max_invalid = 0
         bad = {b.block for b in self.blocks if b.state is BlockState.BAD}
         for info in self.blocks:
             if info.block not in bad:
                 info.reset_after_erase()
-        self._free = [b for b in range(len(self.blocks) - 1, -1, -1) if b not in bad]
+        self._free = dict.fromkeys(
+            b for b in range(len(self.blocks) - 1, -1, -1) if b not in bad
+        )
 
     def take_block(self, block: int) -> BlockInfo:
         """Pop a *specific* free block (used by the wear leveler)."""
         info = self.blocks[block]
         if info.state is not BlockState.FREE or block not in self._free:
             raise BookkeepingError(f"die {self.die}: block {block} is not free")
-        self._free.remove(block)
+        del self._free[block]
         info.state = BlockState.OPEN
         return info
 
@@ -180,16 +318,62 @@ class DieBookkeeping:
         if info.state is BlockState.BAD:
             return
         info.reset_after_erase()
-        self._free.append(block)
+        self._free[block] = None
 
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
     def gc_candidates(self) -> list[BlockInfo]:
         """FULL blocks with at least one invalid page (erasable after GC)."""
+        return [self.blocks[b] for b in sorted(self._candidate_bucket)]
+
+    def gc_candidates_scan(self) -> list[BlockInfo]:
+        """The candidate set recomputed from scratch (reference/testing)."""
         return [
             b
             for b in self.blocks
-            if b.state is BlockState.FULL and b.invalid_count > 0
+            if b.state is BlockState.FULL and b.written - b.valid_count > 0
         ]
 
     def total_valid_pages(self) -> int:
         """Live pages across the die (for utilization accounting)."""
         return sum(b.valid_count for b in self.blocks)
+
+    def check_invariants(self) -> None:
+        """Assert the incremental state matches a from-scratch recompute."""
+        for info in self.blocks:
+            if info.valid_mask.bit_count() != info.valid_count:
+                raise BookkeepingError(
+                    f"d{info.die}/b{info.block}: valid_count {info.valid_count} "
+                    f"!= popcount {info.valid_mask.bit_count()}"
+                )
+            if info.valid_mask >> info.pages_per_block:
+                raise BookkeepingError(
+                    f"d{info.die}/b{info.block}: validity bits beyond the block"
+                )
+        expected = {b.block for b in self.gc_candidates_scan()}
+        if set(self._candidate_bucket) != expected:
+            raise BookkeepingError(
+                f"die {self.die}: candidate set {sorted(self._candidate_bucket)} "
+                f"!= recomputed {sorted(expected)}"
+            )
+        for block, count in self._candidate_bucket.items():
+            if self.blocks[block].invalid_count != count:
+                raise BookkeepingError(
+                    f"die {self.die}: block {block} bucketed at {count}, "
+                    f"actual invalid_count {self.blocks[block].invalid_count}"
+                )
+            if block not in self._buckets.get(count, ()):
+                raise BookkeepingError(
+                    f"die {self.die}: block {block} missing from bucket {count}"
+                )
+        for count, blocks in self._buckets.items():
+            stray = {
+                b for b in blocks if self._candidate_bucket.get(b) != count
+            }
+            if stray:
+                raise BookkeepingError(
+                    f"die {self.die}: stale bucket {count} entries {sorted(stray)}"
+                )
+        if self._free.keys() & expected:
+            raise BookkeepingError(f"die {self.die}: free blocks in candidate set")

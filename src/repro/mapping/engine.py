@@ -28,7 +28,7 @@ from repro.flash.device import FlashDevice
 from repro.flash.errors import CopybackError
 from repro.mapping.stats import ManagementStats
 from repro.mapping.blockinfo import BlockInfo, BlockState, DieBookkeeping
-from repro.mapping.policies import choose_victim
+from repro.mapping.policies import choose_victim_from_books
 
 
 class SpaceFullError(Exception):
@@ -87,6 +87,11 @@ class FlashSpaceEngine:
             raise ValueError(f"no bookkeeping passed for dies {missing}")
         self.device = device
         self.geometry = device.geometry
+        # geometry derivations are Python properties (recomputed per call);
+        # the mapping hot path packs/unpacks addresses on every page op, so
+        # pin the two factors it needs
+        self._pages_per_die = self.geometry.pages_per_die
+        self._pages_per_block = self.geometry.pages_per_block
         self.dies: list[int] = list(dies)
         self.books = books
         self.stats = stats
@@ -142,6 +147,11 @@ class FlashSpaceEngine:
     def keys(self) -> list[int]:
         """All mapped logical keys (sorted, for deterministic iteration)."""
         return sorted(self._map)
+
+    def iter_keys(self):
+        """Mapped logical keys in arbitrary order (no sort — O(n) consumers
+        like counting and set-building should not pay O(n log n))."""
+        return iter(self._map)
 
     # ------------------------------------------------------------------
     # I/O
@@ -264,8 +274,11 @@ class FlashSpaceEngine:
         packed = self._map.pop(key, None)
         if packed is None:
             return
-        old = PhysicalPageAddress.from_int(packed, self.geometry)
-        self.books[old.die].blocks[old.block].invalidate(old.page)
+        # unpack inline: this runs on every overwrite, and the engine only
+        # ever stores addresses it packed itself, so no validation round-trip
+        die, rest = divmod(packed, self._pages_per_die)
+        block, page = divmod(rest, self._pages_per_block)
+        self.books[die].blocks[block].invalidate(page)
         del self._rmap[packed]
 
     # ------------------------------------------------------------------
@@ -277,7 +290,7 @@ class FlashSpaceEngine:
         for offset in range(n):
             die = self.dies[(self._rr_index + offset) % n]
             books = self.books[die]
-            if books.free_count > 1 or books.gc_candidates():
+            if books.free_count > 1 or books.has_reclaimable:
                 self._rr_index = (self._rr_index + offset + 1) % n
                 return die
         raise SpaceFullError(
@@ -330,7 +343,7 @@ class FlashSpaceEngine:
         for offset in range(n):
             die_index = self.dies[(start + offset) % n]
             books = self.books[die_index]
-            if books.free_count > 1 or books.gc_candidates():
+            if books.free_count > 1 or books.has_reclaimable:
                 at = self._collect_if_needed(die_index, at)
                 self._group_rr[group] = (start + offset + 1) % n
                 return books.take_free_block(), at
@@ -340,7 +353,8 @@ class FlashSpaceEngine:
         self, key: int, ppa: PhysicalPageAddress, frontier: BlockInfo, page: int, now_us: float
     ) -> None:
         frontier.note_write(page, now_us)
-        packed = ppa.to_int(self.geometry)
+        # pack inline (addresses built by the engine are valid by construction)
+        packed = ppa.die * self._pages_per_die + ppa.block * self._pages_per_block + ppa.page
         self._map[key] = packed
         self._rmap[packed] = key
 
@@ -362,7 +376,7 @@ class FlashSpaceEngine:
         blocking = books.free_count <= 1
         t = at
         while books.free_count < self.gc_target_free_blocks:
-            victim = choose_victim(self.gc_policy, books.gc_candidates(), t)
+            victim = choose_victim_from_books(self.gc_policy, books, t)
             if victim is None:
                 if books.free_count == 0:
                     raise SpaceFullError(
@@ -408,7 +422,8 @@ class FlashSpaceEngine:
         frontier = self._frontier(self._gc_frontier, die_index)
         page = frontier.written
         dst = PhysicalPageAddress(die_index, frontier.block, page)
-        key = self._rmap[src.to_int(self.geometry)]
+        src_packed = src.die * self._pages_per_die + src.block * self._pages_per_block + src.page
+        key = self._rmap[src_packed]
         try:
             result = self.device.copyback(src, dst, at=at)  # carries source OOB
             self.stats.gc_copybacks += 1
@@ -417,14 +432,20 @@ class FlashSpaceEngine:
             result = self.device.program_page(dst, read.data, read.metadata, at=read.end_us)
             self.stats.gc_reads += 1
             self.stats.gc_programs += 1
-        self._unmap_physical(src)
+        self._unmap_physical(src, src_packed)
         self._map_page(key, dst, frontier, page, result.end_us)
         if frontier.is_full:
             self._gc_frontier[die_index] = None
         return result.end_us
 
-    def _unmap_physical(self, ppa: PhysicalPageAddress) -> None:
-        packed = ppa.to_int(self.geometry)
+    def _unmap_physical(self, ppa: PhysicalPageAddress, packed: int | None = None) -> None:
+        """Invalidate ``ppa`` in bookkeeping and drop its reverse mapping.
+
+        ``packed`` lets callers that already linearized the address (to look
+        up the owning key) skip a second round of packing.
+        """
+        if packed is None:
+            packed = ppa.die * self._pages_per_die + ppa.block * self._pages_per_block + ppa.page
         self.books[ppa.die].blocks[ppa.block].invalidate(ppa.page)
         del self._rmap[packed]
 
@@ -460,14 +481,15 @@ class FlashSpaceEngine:
         for page in cold.valid_pages():
             src = PhysicalPageAddress(die_index, cold.block, page)
             dst = PhysicalPageAddress(die_index, target.block, page_out)
-            key = self._rmap[src.to_int(self.geometry)]
+            src_packed = src.to_int(self.geometry)
+            key = self._rmap[src_packed]
             try:
                 result = self.device.copyback(src, dst, at=at)  # carries source OOB
             except CopybackError:
                 read = self.device.read_page(src, at=at)
                 result = self.device.program_page(dst, read.data, read.metadata, at=read.end_us)
             at = result.end_us
-            self._unmap_physical(src)
+            self._unmap_physical(src, src_packed)
             self._map_page(key, dst, target, page_out, at)
             page_out += 1
             self.stats.wl_moves += 1
@@ -479,9 +501,7 @@ class FlashSpaceEngine:
 
     def _seal_partial_block(self, info: BlockInfo) -> None:
         """Close a partially-filled relocation target (tail counts invalid)."""
-        if info.written > 0 and not info.is_full:
-            info.written = info.pages_per_block
-            info.state = BlockState.FULL
+        info.seal()  # routes through bookkeeping so the candidate set learns
 
     # ------------------------------------------------------------------
     # Dynamic die membership
@@ -645,5 +665,7 @@ class FlashSpaceEngine:
             ppa = PhysicalPageAddress.from_int(packed, self.geometry)
             assert ppa.die in self.books, f"mapped page on foreign die: {ppa}"
             info = self.books[ppa.die].blocks[ppa.block]
-            assert info.valid[ppa.page], f"mapped page not valid in bookkeeping: {ppa}"
+            assert info.is_valid(ppa.page), f"mapped page not valid in bookkeeping: {ppa}"
         assert seen == set(self._rmap), "rmap contains stale entries"
+        for books in self.books.values():
+            books.check_invariants()

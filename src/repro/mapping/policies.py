@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from collections.abc import Iterable
 
-from repro.mapping.blockinfo import BlockInfo
+from repro.mapping.blockinfo import BlockInfo, DieBookkeeping
 
 
 def choose_victim_greedy(candidates: Iterable[BlockInfo]) -> BlockInfo | None:
@@ -74,4 +74,25 @@ def choose_victim(
         return choose_victim_greedy(candidates)
     if policy == "cost_benefit":
         return choose_victim_cost_benefit(candidates, now_us)
+    raise ValueError(f"unknown GC policy {policy!r}; expected one of {sorted(POLICIES)}")
+
+
+def choose_victim_from_books(
+    policy: str, books: DieBookkeeping, now_us: float
+) -> BlockInfo | None:
+    """Victim selection over a die's *maintained* candidate set.
+
+    This is the engine's hot path.  Greedy reads straight from the
+    invalid-count buckets (near-O(1)); cost-benefit still scores every
+    candidate, but only the maintained set — not every block of the die —
+    and both pick the same victim a scan over
+    :meth:`~repro.mapping.blockinfo.DieBookkeeping.gc_candidates_scan`
+    would: greedy by construction, cost-benefit because its
+    ``(-score, die, block)`` ranking key is unique per block, making the
+    minimum independent of iteration order.
+    """
+    if policy == "greedy":
+        return books.greedy_victim()
+    if policy == "cost_benefit":
+        return choose_victim_cost_benefit(books.iter_candidates(), now_us)
     raise ValueError(f"unknown GC policy {policy!r}; expected one of {sorted(POLICIES)}")

@@ -107,3 +107,113 @@ class TestDieBookkeeping:
         info = die.take_free_block()
         info.note_write(0, 0.0)
         assert die.total_valid_pages() == 1
+
+
+def fill_block(die, pages=2, now=0.0):
+    info = die.take_free_block()
+    for p in range(pages):
+        info.note_write(p, now)
+    return info
+
+
+class TestIncrementalCandidates:
+    """The maintained GC candidate set tracks state transitions exactly."""
+
+    def test_validity_is_a_bitmask(self):
+        info = BlockInfo(die=0, block=0, pages_per_block=4)
+        info.note_write(0, 0.0)
+        info.note_write(1, 0.0)
+        info.invalidate(0)
+        assert info.valid_mask == 0b10
+        assert info.valid_count == info.valid_mask.bit_count() == 1
+        assert not info.is_valid(0)
+        assert info.is_valid(1)
+
+    def test_has_reclaimable_lifecycle(self):
+        die = DieBookkeeping(die=0, blocks_per_die=3, pages_per_block=2)
+        assert not die.has_reclaimable
+        info = fill_block(die)
+        assert not die.has_reclaimable  # full but all valid
+        info.invalidate(0)
+        assert die.has_reclaimable
+        die.return_erased_block(info.block)
+        assert not die.has_reclaimable
+
+    def test_candidate_enters_on_fill_with_prior_invalid(self):
+        # pages can die while the block is still an open frontier; the
+        # block must become a candidate the moment it fills
+        die = DieBookkeeping(die=0, blocks_per_die=3, pages_per_block=2)
+        info = die.take_free_block()
+        info.note_write(0, 0.0)
+        info.invalidate(0)
+        assert not die.has_reclaimable
+        info.note_write(1, 0.0)
+        assert die.gc_candidates() == [info]
+
+    def test_seal_makes_partial_block_a_candidate(self):
+        die = DieBookkeeping(die=0, blocks_per_die=3, pages_per_block=4)
+        info = die.take_free_block()
+        info.note_write(0, 0.0)
+        info.seal()
+        assert info.state is BlockState.FULL
+        assert info.invalid_count == 3
+        assert die.gc_candidates() == [info]
+
+    def test_greedy_victim_max_invalid_lowest_block(self):
+        die = DieBookkeeping(die=0, blocks_per_die=4, pages_per_block=4)
+        a = fill_block(die, pages=4)
+        b = fill_block(die, pages=4)
+        c = fill_block(die, pages=4)
+        a.invalidate(0)
+        for p in (0, 1):
+            b.invalidate(p)
+            c.invalidate(p)
+        # b and c tie on invalid count; the lower block index wins
+        assert die.greedy_victim() is b
+        b.invalidate(2)
+        assert die.greedy_victim() is b
+        die.return_erased_block(b.block)
+        assert die.greedy_victim() is c
+
+    def test_mark_bad_removes_candidate(self):
+        die = DieBookkeeping(die=0, blocks_per_die=3, pages_per_block=2)
+        info = fill_block(die)
+        info.invalidate(0)
+        assert die.has_reclaimable
+        die.mark_bad(info.block)
+        assert not die.has_reclaimable
+        die.check_invariants()
+
+    def test_reset_all_clears_candidates(self):
+        die = DieBookkeeping(die=0, blocks_per_die=3, pages_per_block=2)
+        info = fill_block(die)
+        info.invalidate(0)
+        die.reset_all()
+        assert not die.has_reclaimable
+        assert die.free_count == 3
+        die.check_invariants()
+
+
+class TestFreePoolOrder:
+    """The dict-backed free pool keeps the seed's exact LIFO semantics."""
+
+    def test_pops_ascend_then_lifo_recycle(self):
+        die = DieBookkeeping(die=0, blocks_per_die=4, pages_per_block=1)
+        assert die.take_free_block().block == 0
+        assert die.take_free_block().block == 1
+        die.blocks[0].note_write(0, 0.0)
+        die.return_erased_block(0)
+        # the most recently returned block is handed out first
+        assert die.take_free_block().block == 0
+
+    def test_take_specific_block_preserves_order(self):
+        die = DieBookkeeping(die=0, blocks_per_die=4, pages_per_block=1)
+        die.take_block(1)
+        assert [b.block for b in die.free_blocks()] == [3, 2, 0]
+        assert die.take_free_block().block == 0
+
+    def test_take_block_requires_free(self):
+        die = DieBookkeeping(die=0, blocks_per_die=2, pages_per_block=1)
+        die.take_block(1)
+        with pytest.raises(BookkeepingError):
+            die.take_block(1)
