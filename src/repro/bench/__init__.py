@@ -9,8 +9,10 @@ from repro.bench.experiment import (
 )
 from repro.bench.reporting import (
     FIGURE3_ROWS,
+    figure3_metrics_doc,
     figure3_table,
     format_value,
+    render_metrics_doc,
     render_series,
     render_single,
     render_table,
@@ -36,9 +38,11 @@ __all__ = [
     "TPCCExperimentResult",
     "build_database",
     "derive_method_placement",
+    "figure3_metrics_doc",
     "figure3_table",
     "format_value",
     "gc_interference_report",
+    "render_metrics_doc",
     "render_series",
     "render_timeline",
     "render_single",

@@ -73,6 +73,7 @@ class TPCCExperimentResult:
     device: dict[str, float]
     per_region: dict[str, dict[str, float]]
     load_time_us: float
+    registry: dict[str, float] = field(default_factory=dict)
 
     def row(self, key: str) -> float:
         """Convenience lookup across the three stat groups."""
@@ -80,6 +81,27 @@ class TPCCExperimentResult:
             if key in group:
                 return group[key]
         raise KeyError(key)
+
+    def metrics(self) -> dict[str, dict]:
+        """This run's sections of a ``repro.obs/v1`` metrics document.
+
+        ``figure3`` holds exactly the printed Figure 3 rows (same values
+        as :meth:`row`), ``regions`` the per-region window deltas, and
+        ``registry`` the end-of-run namespaced registry snapshot (note:
+        cumulative over load + run, not a window delta).
+        """
+        from repro.bench.reporting import FIGURE3_ROWS
+
+        sections: dict[str, dict] = {
+            "figure3": {key: float(self.row(key)) for __, key, __ in FIGURE3_ROWS},
+        }
+        if self.per_region:
+            sections["regions"] = {
+                name: dict(counters) for name, counters in self.per_region.items()
+            }
+        if self.registry:
+            sections["registry"] = dict(self.registry)
+        return sections
 
 
 def _storage_counters(db: Database) -> dict[str, float]:
@@ -278,4 +300,5 @@ def run_tpcc_experiment(config: TPCCExperimentConfig) -> TPCCExperimentResult:
         device=device,
         per_region=per_region,
         load_time_us=load_end,
+        registry=db.metrics_registry().snapshot(),
     )

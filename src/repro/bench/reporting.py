@@ -69,6 +69,70 @@ def figure3_table(
     )
 
 
+def figure3_metrics_doc(
+    traditional: TPCCExperimentResult, regions: TPCCExperimentResult
+) -> dict:
+    """The ``repro.obs/v1`` document carrying the same numbers as the table.
+
+    Every value in the ``figure3`` sections equals the corresponding
+    :func:`figure3_table` cell; ``regions`` sections carry the per-region
+    window deltas, ``registry`` the namespaced end-of-run snapshots.
+    """
+    from repro.obs.export import metrics_doc
+
+    return metrics_doc(
+        "fig3",
+        {
+            traditional.config.name: traditional.metrics(),
+            regions.config.name: regions.metrics(),
+        },
+    )
+
+
+def _flatten(tree: dict, prefix: str = "") -> dict[str, float]:
+    """Dotted-key view of a (possibly nested) numeric section."""
+    flat: dict[str, float] = {}
+    for key in sorted(tree):
+        value = tree[key]
+        dotted = f"{prefix}{key}"
+        if isinstance(value, dict):
+            flat.update(_flatten(value, f"{dotted}."))
+        else:
+            flat[dotted] = value
+    return flat
+
+
+def render_metrics_doc(doc: dict) -> str:
+    """Paper-style tables from a validated ``repro.obs/v1`` document.
+
+    Two configs with ``figure3`` sections render as the Figure 3
+    comparison (including the ratio column); every other section renders
+    as a key/value block — same data, human view.
+    """
+    configs: dict[str, dict] = doc["configs"]
+    parts: list[str] = []
+    fig3_names = [name for name in configs if "figure3" in configs[name]]
+    compared = len(fig3_names) == 2
+    if compared:
+        a, b = fig3_names
+        rows = [
+            (label, configs[a]["figure3"][key], configs[b]["figure3"][key])
+            for label, key, __ in FIGURE3_ROWS
+            if key in configs[a]["figure3"] and key in configs[b]["figure3"]
+        ]
+        parts.append(
+            render_table(f"{doc['command']} - {a} vs {b}", rows, a, b)
+        )
+    for name, sections in configs.items():
+        for section in sorted(sections):
+            if section == "figure3" and compared:
+                continue
+            flat = _flatten(sections[section])
+            if flat:
+                parts.append(render_single(f"{name} / {section}", flat))
+    return "\n\n".join(parts)
+
+
 def render_single(title: str, values: dict[str, float]) -> str:
     """Render one configuration's stats as a key/value block."""
     width = max(len(k) for k in values) if values else 0

@@ -96,6 +96,7 @@ class SyntheticResult:
     erases: int
     duration_s: float
     writes: int
+    registry: dict[str, float] = field(default_factory=dict)
 
     @property
     def write_amplification(self) -> float:
@@ -116,6 +117,27 @@ class SyntheticResult:
             round(self.write_amplification, 2),
             round(self.writes_per_second, 0),
         ]
+
+    def metrics(self) -> dict[str, dict]:
+        """This run's sections of a ``repro.obs/v1`` metrics document.
+
+        ``summary`` mirrors :meth:`row` (window deltas, unrounded);
+        ``registry`` is the end-of-run namespaced snapshot (cumulative,
+        preload included).
+        """
+        sections: dict[str, dict] = {
+            "summary": {
+                "copybacks": float(self.copybacks),
+                "erases": float(self.erases),
+                "write_amplification": self.write_amplification,
+                "writes_per_second": self.writes_per_second,
+                "writes": float(self.writes),
+                "duration_s": self.duration_s,
+            }
+        }
+        if self.registry:
+            sections["registry"] = dict(self.registry)
+        return sections
 
 
 def _die_shares(
@@ -215,6 +237,7 @@ def run_noftl_synthetic(config: SyntheticConfig, separated: bool) -> SyntheticRe
         erases=sum(r.stats.gc_erases for r in store.regions()) - base_er,
         duration_s=(t - start_t) / 1e6,
         writes=config.writes,
+        registry=store.metrics_registry().snapshot(),
     )
 
 
@@ -286,4 +309,5 @@ def run_ftl_synthetic(config: SyntheticConfig, ftl: str = "page", cmt_entries: i
         erases=dev.stats.gc_erases - base_er,
         duration_s=(t - start_t) / 1e6,
         writes=config.writes,
+        registry=dev.metrics_registry().snapshot(),
     )

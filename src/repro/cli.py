@@ -8,9 +8,14 @@ Commands:
 * ``hotcold`` — the hot/cold separation ablation.
 * ``ftl`` — the FTL-vs-NoFTL motivation experiment.
 * ``recover`` — demonstrate crash recovery from page metadata.
+* ``report`` — render / validate a saved ``repro.obs/v1`` metrics file.
 
-Every command prints a paper-style table and exits 0 on success; ``fig3``
-accepts ``--transactions`` and ``--warehouses`` for custom sizes.
+Every command prints a paper-style table and exits 0 on success.  Every
+command also accepts ``--json``, which swaps the table for a validated
+``repro.obs/v1`` metrics document on stdout (one shared serializer, see
+:mod:`repro.obs.export`).  The experiment commands (``fig3``,
+``hotcold``, ``ftl``) additionally take ``--metrics-out FILE.json`` to
+save that same document next to the printed table.
 """
 
 from __future__ import annotations
@@ -20,43 +25,97 @@ import sys
 from dataclasses import replace
 
 
+def _emit(args: argparse.Namespace, doc: dict, text: str) -> int:
+    """Shared output path: validate, save ``--metrics-out``, print."""
+    from repro.obs.export import dump_json, validate_metrics_doc
+
+    validate_metrics_doc(doc)
+    out = getattr(args, "metrics_out", None)
+    if out:
+        with open(out, "w") as f:
+            f.write(dump_json(doc) + "\n")
+    if args.json:
+        print(dump_json(doc))
+    else:
+        print(text)
+        if out:
+            print(f"metrics written to {out}")
+    return 0
+
+
+def _progress(args: argparse.Namespace, message: str) -> None:
+    """Progress chatter; routed to stderr when stdout must stay JSON."""
+    print(message, file=sys.stderr if args.json else sys.stdout, flush=True)
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
     from repro.flash import DEFAULT_TIMING, paper_geometry
+    from repro.obs.export import metrics_doc
 
     geometry = paper_geometry()
-    print(f"repro {repro.__version__} - NoFTL regions reproduction (EDBT 2016)")
-    print(f"default device : {geometry.dies} dies, {geometry.channels} channels, "
-          f"{geometry.page_size} B pages, {geometry.pages_per_block} pages/block")
-    print(f"default timing : read {DEFAULT_TIMING.read_us:.0f} us, "
-          f"program {DEFAULT_TIMING.program_us:.0f} us, "
-          f"erase {DEFAULT_TIMING.erase_us:.0f} us, "
-          f"bus {DEFAULT_TIMING.bus_us_per_page:.0f} us/page")
-    print("docs           : README.md, DESIGN.md, EXPERIMENTS.md")
-    return 0
+    text = "\n".join([
+        f"repro {repro.__version__} - NoFTL regions reproduction (EDBT 2016)",
+        f"default device : {geometry.dies} dies, {geometry.channels} channels, "
+        f"{geometry.page_size} B pages, {geometry.pages_per_block} pages/block",
+        f"default timing : read {DEFAULT_TIMING.read_us:.0f} us, "
+        f"program {DEFAULT_TIMING.program_us:.0f} us, "
+        f"erase {DEFAULT_TIMING.erase_us:.0f} us, "
+        f"bus {DEFAULT_TIMING.bus_us_per_page:.0f} us/page",
+        "docs           : README.md, DESIGN.md, EXPERIMENTS.md",
+    ])
+    doc = metrics_doc("info", {
+        "defaults": {
+            "device": {
+                "dies": geometry.dies,
+                "channels": geometry.channels,
+                "page_size": geometry.page_size,
+                "pages_per_block": geometry.pages_per_block,
+                "total_pages": geometry.total_pages,
+            },
+            "timing_us": {
+                "read": DEFAULT_TIMING.read_us,
+                "program": DEFAULT_TIMING.program_us,
+                "erase": DEFAULT_TIMING.erase_us,
+                "bus_per_page": DEFAULT_TIMING.bus_us_per_page,
+            },
+        },
+    })
+    return _emit(args, doc, text)
 
 
 def _cmd_fig2(args: argparse.Namespace) -> int:
     from repro.bench import render_series
     from repro.core import figure2_placement
+    from repro.obs.export import metrics_doc
 
     placement = figure2_placement(total_dies=args.dies)
     rows = [
         [i, spec.config.name, spec.num_dies, "; ".join(spec.objects)]
         for i, spec in enumerate(placement.specs)
     ]
-    print(render_series(
+    text = render_series(
         f"Figure 2 - multi-region placement over {args.dies} dies",
         ["#", "region", "dies", "DB objects"],
         rows,
-    ))
-    return 0
+    )
+    doc = metrics_doc("fig2", {
+        "placement": {
+            "regions": {
+                spec.config.name: {"dies": spec.num_dies, "objects": len(spec.objects)}
+                for spec in placement.specs
+            },
+            "summary": {"total_dies": args.dies, "num_regions": len(placement.specs)},
+        },
+    })
+    return _emit(args, doc, text)
 
 
 def _cmd_fig3(args: argparse.Namespace) -> int:
     from repro.bench import (
         TPCCExperimentConfig,
         derive_method_placement,
+        figure3_metrics_doc,
         figure3_table,
         run_tpcc_experiment,
     )
@@ -80,31 +139,36 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
         buffer_pages=768,
         flusher_interval=256,
     )
-    print("deriving region placement (paper's method) ...", flush=True)
+    _progress(args, "deriving region placement (paper's method) ...")
     placement = derive_method_placement(config, args.transactions)
-    print("running traditional placement ...", flush=True)
+    _progress(args, "running traditional placement ...")
     traditional = run_tpcc_experiment(
         replace(config, name="traditional", placement=traditional_placement(64))
     )
-    print("running multi-region placement ...", flush=True)
+    _progress(args, "running multi-region placement ...")
     regions = run_tpcc_experiment(replace(config, name="regions", placement=placement))
-    print()
-    print(figure3_table(traditional, regions))
-    return 0
+    _progress(args, "")
+    return _emit(
+        args, figure3_metrics_doc(traditional, regions), figure3_table(traditional, regions)
+    )
 
 
 def _cmd_hotcold(args: argparse.Namespace) -> int:
     from repro.bench import SyntheticConfig, render_series, run_noftl_synthetic
+    from repro.obs.export import metrics_doc
 
     config = SyntheticConfig(writes=args.writes)
     mixed = run_noftl_synthetic(config, separated=False)
     separated = run_noftl_synthetic(config, separated=True)
-    print(render_series(
+    text = render_series(
         "Hot/cold separation (synthetic, 8 dies, 70% utilization)",
         ["placement", "GC copybacks", "GC erases", "WA", "writes/s"],
         [mixed.row(), separated.row()],
-    ))
-    return 0
+    )
+    doc = metrics_doc(
+        "hotcold", {mixed.name: mixed.metrics(), separated.name: separated.metrics()}
+    )
+    return _emit(args, doc, text)
 
 
 def _cmd_ftl(args: argparse.Namespace) -> int:
@@ -114,6 +178,7 @@ def _cmd_ftl(args: argparse.Namespace) -> int:
         run_ftl_synthetic,
         run_noftl_synthetic,
     )
+    from repro.obs.export import metrics_doc
 
     config = SyntheticConfig(writes=args.writes, utilization=0.65)
     results = [
@@ -123,15 +188,15 @@ def _cmd_ftl(args: argparse.Namespace) -> int:
         run_noftl_synthetic(config, separated=False),
         run_noftl_synthetic(config, separated=True),
     ]
-    rows = [r.row() for r in results]
-    rows[3][0] = "noftl-mixed"
-    rows[4][0] = "noftl-regions"
-    print(render_series(
+    results[3].name = "noftl-mixed"
+    results[4].name = "noftl-regions"
+    text = render_series(
         "FTL vs NoFTL (synthetic skewed writes)",
         ["stack", "GC copybacks", "GC erases", "WA", "writes/s"],
-        rows,
-    ))
-    return 0
+        [r.row() for r in results],
+    )
+    doc = metrics_doc("ftl", {r.name: r.metrics() for r in results})
+    return _emit(args, doc, text)
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -139,6 +204,7 @@ def _cmd_recover(args: argparse.Namespace) -> int:
 
     from repro.core import NoFTLStore, RegionConfig
     from repro.flash import paper_geometry
+    from repro.obs.export import metrics_doc
 
     store = NoFTLStore.create(paper_geometry(blocks_per_plane=4))
     region = store.create_region(RegionConfig(name="rg"), num_dies=8)
@@ -151,11 +217,51 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     fresh.create_region(RegionConfig(name="rg"), num_dies=8, dies=region.dies)
     end = fresh.recover(at=t)
     recovered = fresh.region("rg")
-    print(f"wrote {args.writes} pages ({region.used_pages()} live), crashed, recovered")
-    print(f"recovery scan: {(end - t) / 1000:.1f} ms simulated, "
-          f"{recovered.used_pages()} live pages restored")
     fresh.check_consistency()
-    print("mapping invariants verified.")
+    text = "\n".join([
+        f"wrote {args.writes} pages ({region.used_pages()} live), crashed, recovered",
+        f"recovery scan: {(end - t) / 1000:.1f} ms simulated, "
+        f"{recovered.used_pages()} live pages restored",
+        "mapping invariants verified.",
+    ])
+    doc = metrics_doc("recover", {
+        "recover": {
+            "summary": {
+                "writes": args.writes,
+                "live_pages": region.used_pages(),
+                "recovered_pages": recovered.used_pages(),
+                "recovery_scan_ms": (end - t) / 1000,
+            },
+            "registry": fresh.metrics_registry().snapshot(),
+        },
+    })
+    return _emit(args, doc, text)
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.bench import render_metrics_doc
+    from repro.obs.export import SchemaError, dump_json, validate_metrics_doc
+
+    if args.path == "-":
+        raw = sys.stdin.read()
+    else:
+        with open(args.path) as f:
+            raw = f.read()
+    try:
+        doc = validate_metrics_doc(json.loads(raw))
+    except (json.JSONDecodeError, SchemaError) as exc:
+        print(f"invalid metrics document: {exc}", file=sys.stderr)
+        return 1
+    if args.validate:
+        print(f"OK: {doc['schema']} document, command {doc['command']!r}, "
+              f"{len(doc['configs'])} config(s)")
+        return 0
+    if args.json:
+        print(dump_json(doc))
+        return 0
+    print(render_metrics_doc(doc))
     return 0
 
 
@@ -167,30 +273,64 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("info", help="package and simulator defaults").set_defaults(fn=_cmd_info)
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument(
+        "--json",
+        action="store_true",
+        help="emit a repro.obs/v1 metrics document instead of the table",
+    )
+    metrics_out = argparse.ArgumentParser(add_help=False)
+    metrics_out.add_argument(
+        "--metrics-out",
+        metavar="FILE.json",
+        default=None,
+        help="also save the repro.obs/v1 metrics document to FILE.json",
+    )
 
-    fig2 = sub.add_parser("fig2", help="print the Figure 2 placement")
+    info = sub.add_parser("info", parents=[common], help="package and simulator defaults")
+    info.set_defaults(fn=_cmd_info)
+
+    fig2 = sub.add_parser("fig2", parents=[common], help="print the Figure 2 placement")
     fig2.add_argument("--dies", type=int, default=64)
     fig2.set_defaults(fn=_cmd_fig2)
 
-    fig3 = sub.add_parser("fig3", help="run the Figure 3 comparison")
+    fig3 = sub.add_parser(
+        "fig3", parents=[common, metrics_out], help="run the Figure 3 comparison"
+    )
     fig3.add_argument("--transactions", type=int, default=3000)
     fig3.add_argument("--warehouses", type=int, default=2)
     fig3.add_argument("--customers", type=int, default=150)
     fig3.add_argument("--items", type=int, default=3000)
     fig3.set_defaults(fn=_cmd_fig3)
 
-    hotcold = sub.add_parser("hotcold", help="hot/cold separation ablation")
+    hotcold = sub.add_parser(
+        "hotcold", parents=[common, metrics_out], help="hot/cold separation ablation"
+    )
     hotcold.add_argument("--writes", type=int, default=15_000)
     hotcold.set_defaults(fn=_cmd_hotcold)
 
-    ftl = sub.add_parser("ftl", help="FTL vs NoFTL motivation experiment")
+    ftl = sub.add_parser(
+        "ftl", parents=[common, metrics_out], help="FTL vs NoFTL motivation experiment"
+    )
     ftl.add_argument("--writes", type=int, default=10_000)
     ftl.set_defaults(fn=_cmd_ftl)
 
-    recover = sub.add_parser("recover", help="crash recovery demonstration")
+    recover = sub.add_parser(
+        "recover", parents=[common], help="crash recovery demonstration"
+    )
     recover.add_argument("--writes", type=int, default=5_000)
     recover.set_defaults(fn=_cmd_recover)
+
+    report = sub.add_parser(
+        "report", parents=[common], help="render or validate a saved metrics document"
+    )
+    report.add_argument("path", help="metrics JSON file, or '-' for stdin")
+    report.add_argument(
+        "--validate",
+        action="store_true",
+        help="only check the document against the repro.obs/v1 schema",
+    )
+    report.set_defaults(fn=_cmd_report)
 
     return parser
 

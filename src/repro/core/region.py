@@ -196,6 +196,9 @@ class Region:
         """Read logical page ``rpn``; returns ``(data, completion_us)``."""
         self._check_allocated(rpn)
         issue = at
+        bus = self.device.events
+        if bus is not None:
+            bus.emit(issue, "host", "read", region=self.name, rpn=rpn)
         data, end = self.engine.read(rpn, at)
         self.stats.host_reads += 1
         self.stats.host_read_latency.record(end - issue)
@@ -212,6 +215,9 @@ class Region:
         issue = at
         if not self.config.object_frontiers:
             group = None
+        bus = self.device.events
+        if bus is not None:
+            bus.emit(issue, "host", "write", region=self.name, rpn=rpn, obj=group)
         end = self.engine.write(rpn, data, at, group=group)
         self.stats.host_writes += 1
         self.stats.host_write_latency.record(end - issue)
@@ -231,6 +237,10 @@ class Region:
             self._check_allocated(rpn)
         if not self.config.object_frontiers:
             group = None
+        bus = self.device.events
+        if bus is not None:
+            bus.emit(at, "host", "write_atomic", region=self.name,
+                     pages=len(entries), obj=group)
         end = self.engine.write_atomic(entries, at, group=group)
         self.stats.host_writes += len(entries)
         self.stats.host_write_latency.record(end - at)
@@ -278,6 +288,11 @@ class Region:
             return 0.0
         totals = [self.device.dies[d].total_erase_count for d in self.engine.dies]
         return sum(totals) / len(totals)
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat management counters (``Snapshottable``); mounted by the
+        registry under ``region.<name>``."""
+        return self.stats.snapshot()
 
     def describe(self) -> dict[str, object]:
         """Catalog row for the region."""

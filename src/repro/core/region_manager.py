@@ -284,3 +284,16 @@ class RegionManager:
                     continue
                 totals[key] += value
         return dict(totals)
+
+    def snapshot(self) -> dict[str, float]:
+        """Per-region counters under ``region.<name>.*`` (``Snapshottable``).
+
+        This is the paper's key axis — Figure 3 behaviour is a *per-region*
+        story — flattened into the global observability key space.
+        """
+        from repro.obs.api import prefixed
+
+        merged: dict[str, float] = {}
+        for name in sorted(self.regions):
+            merged.update(prefixed(f"region.{name}", self.regions[name].snapshot()))
+        return merged

@@ -122,6 +122,13 @@ class NoFTLStore:
         """Management counters per region."""
         return {r.name: r.stats.snapshot() for r in self.regions()}
 
+    def metrics_registry(self):
+        """A :class:`~repro.obs.registry.MetricRegistry` over this stack
+        (``flash.*``, ``mgmt.*``, ``region.<name>.*``)."""
+        from repro.obs.collect import registry_for_store
+
+        return registry_for_store(self)
+
     def describe(self) -> list[dict[str, object]]:
         """Catalog rows of all regions."""
         return self.manager.describe()

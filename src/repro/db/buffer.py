@@ -53,6 +53,18 @@ class BufferStats:
         total = self.hits + self.misses
         return self.hits / total if total else 0.0
 
+    def snapshot(self) -> dict[str, float]:
+        """Flat numeric view (``Snapshottable``); the registry mounts it
+        under ``db.buffer``."""
+        return {
+            "hits": float(self.hits),
+            "misses": float(self.misses),
+            "evictions": float(self.evictions),
+            "dirty_evictions": float(self.dirty_evictions),
+            "flusher_writes": float(self.flusher_writes),
+            "hit_ratio": self.hit_ratio,
+        }
+
 
 class BufferPool:
     """A page cache between the DBMS and a storage backend.

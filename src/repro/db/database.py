@@ -237,6 +237,24 @@ class Database:
         assert self.ftl is not None
         return self.ftl.device
 
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def metrics_registry(self):
+        """A :class:`~repro.obs.registry.MetricRegistry` over the whole stack.
+
+        Mounts ``flash.*``, ``mgmt.*``, ``region.<name>.*`` (on native
+        flash) and ``db.buffer.*``; reads the live counters at snapshot
+        time without copying or perturbing them.
+        """
+        from repro.obs.collect import registry_for_database
+
+        return registry_for_database(self)
+
+    def attach_event_bus(self, capacity: int = 100_000):
+        """Attach (or return) the device's shared cross-layer event bus."""
+        return self.device.attach_event_bus(capacity=capacity)
+
     @property
     def now(self) -> float:
         """Current virtual time of the underlying device."""

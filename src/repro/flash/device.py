@@ -29,10 +29,15 @@ from repro.flash.errors import (
     CopybackError,
     DataError,
 )
+from typing import TYPE_CHECKING
+
 from repro.flash.geometry import FlashGeometry
 from repro.flash.simclock import ResourceTimeline, SimClock
 from repro.flash.stats import FlashStats
 from repro.flash.timing import DEFAULT_TIMING, TimingModel
+
+if TYPE_CHECKING:
+    from repro.obs.events import EventBus
 
 
 @dataclass(frozen=True)
@@ -70,6 +75,12 @@ class FlashDevice:
         strict_plane_copyback: if ``True``, COPYBACK additionally requires
             source and destination to share a plane, as on strict hardware.
         seed: RNG seed for bad-block placement.
+        events: optional :class:`~repro.obs.events.EventBus`; when set,
+            every native command emits a ``layer="flash"`` event with die /
+            block / page attribution.  Management layers above share the
+            same bus, so one stream shows host I/O -> mapping decision ->
+            native command.  ``None`` (the default) costs one attribute
+            test per command.
     """
 
     def __init__(
@@ -80,6 +91,7 @@ class FlashDevice:
         initial_bad_block_rate: float = 0.0,
         strict_plane_copyback: bool = False,
         seed: int = 0,
+        events: EventBus | None = None,
     ) -> None:
         if not 0.0 <= initial_bad_block_rate < 1.0:
             raise ValueError("initial_bad_block_rate must be in [0, 1)")
@@ -87,6 +99,7 @@ class FlashDevice:
         self.timing = timing if timing is not None else DEFAULT_TIMING
         self.clock = clock if clock is not None else SimClock()
         self.strict_plane_copyback = strict_plane_copyback
+        self.events = events
         self.dies: list[Die] = [Die(i, geometry) for i in range(geometry.dies)]
         self.channels: list[ResourceTimeline] = [
             ResourceTimeline(name=f"ch{i}") for i in range(geometry.channels)
@@ -136,6 +149,9 @@ class FlashDevice:
         bus = self.timing.bus_us(self.geometry.page_size, self.geometry.page_size)
         __, end = channel.reserve(array_done, bus)
         self.stats.record_read(ppa.die, len(data), end - issue)
+        if self.events is not None:
+            self.events.emit(issue, "flash", "read_page", die=ppa.die,
+                             block=ppa.block, page=ppa.page, start_us=start, end_us=end)
         self.clock.advance_to(end)
         return CommandResult(start_us=start, end_us=end, data=data, metadata=metadata)
 
@@ -154,6 +170,9 @@ class FlashDevice:
         bus = self.timing.bus_us(self.geometry.oob_size, self.geometry.page_size)
         __, end = channel.reserve(array_done, bus)
         self.stats.record_read(ppa.die, self.geometry.oob_size, end - issue)
+        if self.events is not None:
+            self.events.emit(issue, "flash", "read_metadata", die=ppa.die,
+                             block=ppa.block, page=ppa.page, start_us=start, end_us=end)
         self.clock.advance_to(end)
         return CommandResult(start_us=start, end_us=end, data=None, metadata=metadata)
 
@@ -181,6 +200,9 @@ class FlashDevice:
         __, end = die.timeline.reserve(xfer_done, self.timing.program_us)
         die.blocks[ppa.block].program(ppa.page, data, metadata)
         self.stats.record_program(ppa.die, len(data), end - issue)
+        if self.events is not None:
+            self.events.emit(issue, "flash", "program_page", die=ppa.die,
+                             block=ppa.block, page=ppa.page, start_us=start, end_us=end)
         self.clock.advance_to(end)
         return CommandResult(start_us=start, end_us=end)
 
@@ -192,6 +214,9 @@ class FlashDevice:
         die.blocks[pba.block].erase()
         start, end = die.timeline.reserve(issue, self.timing.erase_us)
         self.stats.record_erase(pba.die)
+        if self.events is not None:
+            self.events.emit(issue, "flash", "erase_block", die=pba.die,
+                             block=pba.block, start_us=start, end_us=end)
         self.clock.advance_to(end)
         return CommandResult(start_us=start, end_us=end)
 
@@ -227,6 +252,11 @@ class FlashDevice:
         die.blocks[dst.block].program(dst.page, data, metadata if metadata is not None else src_meta)
         start, end = die.timeline.reserve(issue, self.timing.copyback_us)
         self.stats.record_copyback(src.die)
+        if self.events is not None:
+            self.events.emit(issue, "flash", "copyback", die=src.die,
+                             block=src.block, page=src.page,
+                             dst_block=dst.block, dst_page=dst.page,
+                             start_us=start, end_us=end)
         self.clock.advance_to(end)
         return CommandResult(start_us=start, end_us=end)
 
@@ -282,6 +312,9 @@ class FlashDevice:
                 )
             die.blocks[ppa.block].program(ppa.page, data, meta)
             self.stats.record_program(ppa.die, len(data), end - issue)
+        if self.events is not None:
+            self.events.emit(issue, "flash", "program_multi_plane", die=die_index,
+                             pages=len(ppas), start_us=start, end_us=end)
         self.clock.advance_to(end)
         return CommandResult(start_us=start, end_us=end)
 
@@ -319,8 +352,22 @@ class FlashDevice:
             results.append(
                 CommandResult(start_us=start, end_us=xfer_done, data=data, metadata=metadata)
             )
+        if self.events is not None:
+            self.events.emit(issue, "flash", "read_multi_plane", die=die_index,
+                             pages=len(ppas), start_us=start, end_us=xfer_done)
         self.clock.advance_to(xfer_done)
         return results
+
+    # ------------------------------------------------------------------
+    # Observability
+    # ------------------------------------------------------------------
+    def attach_event_bus(self, capacity: int = 100_000) -> EventBus:
+        """Create (or return) the device's shared cross-layer event bus."""
+        from repro.obs.events import EventBus
+
+        if self.events is None:
+            self.events = EventBus(capacity=capacity)
+        return self.events
 
     # ------------------------------------------------------------------
     # Wear / health reporting

@@ -82,6 +82,17 @@ class LatencyAccumulator:
         for index, bucket_count in enumerate(other.buckets):
             self.buckets[index] += bucket_count
 
+    def snapshot(self) -> dict[str, float]:
+        """Flat numeric view (``Snapshottable``): count, mean, range, tails."""
+        return {
+            "count": float(self.count),
+            "mean_us": self.mean_us,
+            "min_us": self.min_us if self.count else 0.0,
+            "max_us": self.max_us,
+            "p50_us": self.percentile_us(0.50),
+            "p99_us": self.percentile_us(0.99),
+        }
+
 
 def percentile_from_buckets(buckets: list[int], fraction: float) -> float:
     """Percentile over a raw bucket-count list (see :class:`LatencyAccumulator`).
@@ -167,7 +178,11 @@ class FlashStats:
     # Reporting helpers
     # ------------------------------------------------------------------
     def snapshot(self) -> dict[str, float]:
-        """Flat dict of the headline counters, for table rendering."""
+        """Flat dict of the headline counters (``Snapshottable``).
+
+        Local keys; the :class:`~repro.obs.registry.MetricRegistry`
+        namespaces them under ``flash.*``.
+        """
         return {
             "reads": self.reads,
             "programs": self.programs,

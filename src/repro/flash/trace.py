@@ -19,6 +19,7 @@ Usage::
 
 from __future__ import annotations
 
+import warnings
 from collections import Counter, deque
 from dataclasses import dataclass
 
@@ -142,8 +143,42 @@ class FlashTracer:
         """The ``n`` events with the longest queueing delay."""
         return sorted(self.events, key=lambda e: e.queue_us, reverse=True)[:n]
 
+    def snapshot(self) -> dict[str, float]:
+        """Flat numeric view (``Snapshottable``): per-op counts, busiest
+        die (``-1`` when empty) and mean queueing delay.
+
+        Local keys; mount the tracer on a
+        :class:`~repro.obs.registry.MetricRegistry` to namespace them
+        (conventionally under ``trace``).
+        """
+        ops = Counter(e.op for e in self.events)
+        dies = Counter(e.die for e in self.events)
+        out: dict[str, float] = {
+            "events": float(len(self.events)),
+            "dropped": float(self.dropped),
+            "busiest_die": float(dies.most_common(1)[0][0]) if dies else -1.0,
+            "mean_queue_us": (
+                sum(e.queue_us for e in self.events) / len(self.events)
+                if self.events
+                else 0.0
+            ),
+        }
+        for op, count in sorted(ops.items()):
+            out[f"ops.{op}"] = float(count)
+        return out
+
     def summary(self) -> dict[str, object]:
-        """Counts per op, busiest die, and mean queueing delay."""
+        """Deprecated legacy view; use :meth:`snapshot` instead.
+
+        Kept one release for callers that expect the nested ``ops`` dict
+        and ``busiest_die=None`` sentinel.
+        """
+        warnings.warn(
+            "FlashTracer.summary() is deprecated; use FlashTracer.snapshot() "
+            "(flat dotted keys) or mount the tracer on repro.obs.MetricRegistry",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         ops = Counter(e.op for e in self.events)
         dies = Counter(e.die for e in self.events)
         total_queue = sum(e.queue_us for e in self.events)

@@ -119,6 +119,9 @@ class DFTL(PageMappingFTL):
         # miss: fetch the translation page (if it was ever persisted)
         tpage = self._tpage_lpn(lba)
         if self.is_mapped(tpage):
+            bus = self.device.events
+            if bus is not None:
+                bus.emit(at, "mapping", "trans_read", lba=lba, tpage=tpage)
             __, at = self._read_internal(tpage, at)
             self.stats.trans_reads += 1
         at = self._cmt_insert(lba, dirty, at)
@@ -143,6 +146,9 @@ class DFTL(PageMappingFTL):
         lo = tpage_index * self.entries_per_tpage
         hi = lo + self.entries_per_tpage
         payload = b"T" * min(64, self.geometry.page_size)  # synthetic body
+        bus = self.device.events
+        if bus is not None:
+            bus.emit(at, "mapping", "trans_write", lba=victim, tpage=tpage)
         at = self._write_internal(tpage, payload, at)
         self.stats.trans_writes += 1
         for lpn in [k for k, d in self._cmt.items() if d and lo <= k < hi]:

@@ -120,6 +120,9 @@ class PageMappingFTL(BlockDevice):
         """Host read of one sector."""
         self.check_lba(lba)
         issue = self.device.clock.now if at is None else at
+        bus = self.device.events
+        if bus is not None:
+            bus.emit(issue, "host", "read", lba=lba)
         data, end = self._read_internal(lba, issue)
         self.stats.host_reads += 1
         self.stats.host_read_latency.record(end - issue)
@@ -129,6 +132,9 @@ class PageMappingFTL(BlockDevice):
         """Host write of one sector (out-of-place, may stall behind GC)."""
         self.check_lba(lba)
         issue = self.device.clock.now if at is None else at
+        bus = self.device.events
+        if bus is not None:
+            bus.emit(issue, "host", "write", lba=lba)
         end = self._write_internal(lba, data, issue)
         self.stats.host_writes += 1
         self.stats.host_write_latency.record(end - issue)
@@ -176,3 +182,14 @@ class PageMappingFTL(BlockDevice):
     def check_consistency(self) -> None:
         """Verify mapping/bookkeeping invariants (used by property tests)."""
         self._engine.check_consistency()
+
+    def snapshot(self) -> dict[str, float]:
+        """Management counters (``Snapshottable``); mounted under ``mgmt``."""
+        return self.stats.snapshot()
+
+    def metrics_registry(self):
+        """A :class:`~repro.obs.registry.MetricRegistry` over this SSD
+        (``flash.*`` device counters plus ``mgmt.*`` FTL counters)."""
+        from repro.obs.collect import registry_for_blockdevice
+
+        return registry_for_blockdevice(self)

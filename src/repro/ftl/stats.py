@@ -1,10 +1,20 @@
-"""Management-layer statistics (re-exported from :mod:`repro.mapping.stats`).
+"""Deprecated import path for :class:`ManagementStats`.
 
-The counters live with the shared flash-management machinery so both the
-FTL and NoFTL layers record them identically; this module keeps the
-historically natural import path ``repro.ftl.stats`` working.
+The management-layer counters moved to the unified observability package:
+import :class:`~repro.mapping.stats.ManagementStats` from ``repro.obs``
+(or its canonical home, :mod:`repro.mapping.stats`).  This alias module is
+kept for one release and emits a :class:`DeprecationWarning` on import.
 """
 
+import warnings
+
 from repro.mapping.stats import ManagementStats
+
+warnings.warn(
+    "repro.ftl.stats is deprecated; import ManagementStats from repro.obs "
+    "(canonical home: repro.mapping.stats)",
+    DeprecationWarning,
+    stacklevel=2,
+)
 
 __all__ = ["ManagementStats"]

@@ -390,6 +390,10 @@ class FlashSpaceEngine:
     def _collect_block(self, victim: BlockInfo, at: float) -> float:
         die_index = victim.die
         self.stats.gc_victim_valid_pages += victim.valid_count
+        bus = self.device.events
+        if bus is not None:
+            bus.emit(at, "mapping", "gc_collect", die=die_index, block=victim.block,
+                     valid_pages=victim.valid_count, obj=self.obj_id)
         for page in victim.valid_pages():
             src = PhysicalPageAddress(die_index, victim.block, page)
             at = self._relocate(src, at)
@@ -476,6 +480,10 @@ class FlashSpaceEngine:
         spread = die.blocks[worn_free.block].erase_count - die.blocks[cold.block].erase_count
         if spread <= self.wear_level_threshold:
             return at
+        bus = self.device.events
+        if bus is not None:
+            bus.emit(at, "mapping", "wear_level", die=die_index, cold_block=cold.block,
+                     target_block=worn_free.block, spread=spread, obj=self.obj_id)
         target = books.take_block(worn_free.block)
         page_out = 0
         for page in cold.valid_pages():
@@ -527,6 +535,9 @@ class FlashSpaceEngine:
             raise ValueError(f"die {die_index} does not belong to this engine")
         if len(self.dies) == 1:
             raise ValueError("cannot evacuate the engine's last die")
+        bus = self.device.events
+        if bus is not None:
+            bus.emit(at, "mapping", "evacuate_die", die=die_index, obj=self.obj_id)
         self.dies.remove(die_index)
         self._user_frontier.pop(die_index)
         self._gc_frontier.pop(die_index)

@@ -77,7 +77,12 @@ class ManagementStats:
         return physical / self.host_writes
 
     def snapshot(self) -> dict[str, float]:
-        """Flat dict of headline numbers for table rendering."""
+        """Flat dict of headline numbers (``Snapshottable``).
+
+        Local keys; the :class:`~repro.obs.registry.MetricRegistry`
+        namespaces them (``mgmt.*`` for layer totals,
+        ``region.<name>.*`` for per-region breakdowns).
+        """
         return {
             "host_reads": self.host_reads,
             "host_writes": self.host_writes,

@@ -1,0 +1,79 @@
+"""Unified observability: one metrics API across every layer.
+
+The paper's whole argument is told through counters (Figure 3: host
+READ/WRITE I/Os, GC COPYBACKs, GC ERASEs, latency distributions).  This
+package is the single surface that collects, namespaces and exports them:
+
+* :class:`MetricRegistry` — counters, gauges, latency histograms and
+  mounted stats *sources* under dotted keys (``flash.erases``,
+  ``mgmt.gc_copybacks``, ``region.rgHot.host_writes``, ``db.buffer.hits``).
+* :class:`EventBus` / :class:`ObsEvent` — structured cross-layer trace
+  events (host I/O → mapping decision → native command) with die, region
+  and database-object attribution; bounded ring buffer, JSONL export.
+* Exporters — :func:`dump_json` (the one ``--json`` serializer),
+  :func:`metrics_doc` + :func:`validate_metrics_doc` (the ``repro.obs/v1``
+  schema), and table renderers fed from the same data.
+* Collectors — :func:`registry_for_database` and friends mount a live
+  stack's stats objects without touching their hot paths.
+
+The canonical stats classes are re-exported here; ``repro.ftl.stats``
+is a deprecated alias of this module's ``ManagementStats``.
+"""
+
+from repro.flash.stats import FlashStats, LatencyAccumulator
+from repro.mapping.stats import ManagementStats
+from repro.obs.api import (
+    MetricKeyError,
+    ROOT_NAMESPACES,
+    Snapshottable,
+    check_key,
+    prefixed,
+)
+from repro.obs.collect import (
+    combined_management_stats,
+    registry_for_blockdevice,
+    registry_for_database,
+    registry_for_store,
+)
+from repro.obs.events import LAYERS, EventBus, ObsEvent, write_jsonl
+from repro.obs.export import (
+    SCHEMA_VERSION,
+    SchemaError,
+    dump_json,
+    metrics_doc,
+    render_comparison,
+    render_snapshot,
+    validate_metrics_doc,
+    validate_snapshot,
+)
+from repro.obs.registry import Counter, Gauge, MetricRegistry
+
+__all__ = [
+    "Counter",
+    "EventBus",
+    "FlashStats",
+    "Gauge",
+    "LAYERS",
+    "LatencyAccumulator",
+    "ManagementStats",
+    "MetricKeyError",
+    "MetricRegistry",
+    "ObsEvent",
+    "ROOT_NAMESPACES",
+    "SCHEMA_VERSION",
+    "SchemaError",
+    "Snapshottable",
+    "check_key",
+    "combined_management_stats",
+    "dump_json",
+    "metrics_doc",
+    "prefixed",
+    "registry_for_blockdevice",
+    "registry_for_database",
+    "registry_for_store",
+    "render_comparison",
+    "render_snapshot",
+    "validate_metrics_doc",
+    "validate_snapshot",
+    "write_jsonl",
+]

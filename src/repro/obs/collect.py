@@ -1,0 +1,90 @@
+"""Registry builders: mount a live stack's stats under the global key space.
+
+These functions do the wiring described in the architecture docs: given a
+running object (a :class:`~repro.db.database.Database`, a
+:class:`~repro.core.store.NoFTLStore`, an FTL block device), they return a
+:class:`~repro.obs.registry.MetricRegistry` with every layer mounted
+under its canonical namespace:
+
+========================  =====================================================
+``flash.*``               native device counters (:class:`FlashStats`)
+``mgmt.*``                management totals (FTL stats, or all regions summed)
+``region.<name>.*``       per-region breakdowns — the paper's key axis
+``db.buffer.*``           buffer-pool counters
+``trace.*``               event-bus counters (when a bus is attached)
+``workload.*``            benchmark-driver metrics (mounted by the harness)
+========================  =====================================================
+
+Everything is mounted as a *source*, read live at ``snapshot()`` time:
+building a registry never copies or perturbs the underlying counters.
+"""
+
+from __future__ import annotations
+
+from repro.mapping.stats import ManagementStats
+from repro.obs.registry import MetricRegistry
+
+
+def combined_management_stats(regions) -> ManagementStats:
+    """Sum per-region :class:`ManagementStats` into one (latencies merged)."""
+    total = ManagementStats()
+    for region in regions:
+        stats = region.stats
+        total.host_reads += stats.host_reads
+        total.host_writes += stats.host_writes
+        total.gc_copybacks += stats.gc_copybacks
+        total.gc_reads += stats.gc_reads
+        total.gc_programs += stats.gc_programs
+        total.gc_erases += stats.gc_erases
+        total.gc_victim_valid_pages += stats.gc_victim_valid_pages
+        total.wl_moves += stats.wl_moves
+        total.wl_erases += stats.wl_erases
+        total.trans_reads += stats.trans_reads
+        total.trans_writes += stats.trans_writes
+        total.host_read_latency.merge(stats.host_read_latency)
+        total.host_write_latency.merge(stats.host_write_latency)
+    return total
+
+
+def _mount_device(registry: MetricRegistry, device) -> None:
+    registry.register_source("flash", device.stats)
+    registry.gauge("flash.wear.total_erase_count", device.total_erase_count)
+    registry.gauge("flash.wear.max_erase_count", device.max_erase_count)
+    bus = getattr(device, "events", None)
+    if bus is not None:
+        registry.register_source("trace", bus)
+
+
+def registry_for_store(store) -> MetricRegistry:
+    """Registry over a :class:`~repro.core.store.NoFTLStore` stack."""
+    registry = MetricRegistry()
+    _mount_device(registry, store.device)
+    registry.register_source(
+        "mgmt", lambda: combined_management_stats(store.regions()).snapshot()
+    )
+    for region in store.regions():
+        registry.register_source(f"region.{region.name}", region.stats)
+    return registry
+
+
+def registry_for_blockdevice(ftl) -> MetricRegistry:
+    """Registry over an FTL block device (PageMappingFTL / DFTL / hot-cold)."""
+    registry = MetricRegistry()
+    _mount_device(registry, ftl.device)
+    registry.register_source("mgmt", ftl.stats)
+    return registry
+
+
+def registry_for_database(db) -> MetricRegistry:
+    """Registry over a full :class:`~repro.db.database.Database` stack.
+
+    Mounts the flash device, the management layer (whichever architecture
+    the database runs on), every region, and the buffer pool.
+    """
+    if db.store is not None:
+        registry = registry_for_store(db.store)
+    else:
+        registry = registry_for_blockdevice(db.ftl)
+    registry.register_source("db.buffer", db.buffer_pool.stats)
+    registry.gauge("db.buffer.buffered_pages", lambda: float(db.buffer_pool.buffered_pages()))
+    return registry

@@ -1,0 +1,140 @@
+"""Exporters: one JSON serializer, the metrics-document schema, tables.
+
+Everything the CLI emits — ``--json``, ``--metrics-out``, ``repro
+report`` — flows through :func:`dump_json` and the ``repro.obs/v1``
+metrics-document envelope, so machine consumers see one stable shape
+regardless of which experiment produced the numbers:
+
+.. code-block:: json
+
+    {
+      "schema": "repro.obs/v1",
+      "command": "fig3",
+      "configs": {
+        "<config name>": {
+          "figure3":  {"host_reads": 123, ...},
+          "regions":  {"<region>": {"host_writes": 45, ...}},
+          "registry": {"flash.erases": 6, ...}
+        }
+      }
+    }
+
+``validate_metrics_doc`` enforces the envelope and the key grammar; the
+CI smoke step runs it against live ``fig3 --json`` output.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.api import ROOT_NAMESPACES, check_key
+
+#: Version tag carried by every exported document.
+SCHEMA_VERSION = "repro.obs/v1"
+
+
+class SchemaError(ValueError):
+    """An exported document does not match the ``repro.obs/v1`` schema."""
+
+
+def dump_json(payload: dict) -> str:
+    """The one serializer behind every ``--json`` flag (stable key order)."""
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def metrics_doc(command: str, configs: dict[str, dict], **extra) -> dict:
+    """Wrap per-config metric sections in the versioned envelope."""
+    doc = {"schema": SCHEMA_VERSION, "command": command, "configs": configs}
+    doc.update(extra)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def validate_snapshot(snapshot: dict, roots: tuple[str, ...] = ROOT_NAMESPACES) -> dict:
+    """Check a registry snapshot: dotted keys, pinned roots, numeric values."""
+    if not isinstance(snapshot, dict):
+        raise SchemaError(f"snapshot must be a dict, got {type(snapshot).__name__}")
+    for key, value in snapshot.items():
+        check_key(key)
+        root = key.split(".", 1)[0]
+        if root not in roots:
+            raise SchemaError(f"snapshot key {key!r} outside pinned roots {roots}")
+        if not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SchemaError(f"snapshot value for {key!r} is not numeric: {value!r}")
+    return snapshot
+
+
+def _validate_numeric_tree(node: dict, path: str) -> None:
+    for key, value in node.items():
+        if not isinstance(key, str):
+            raise SchemaError(f"non-string key under {path!r}: {key!r}")
+        check_key(key)
+        here = f"{path}.{key}"
+        if isinstance(value, dict):
+            _validate_numeric_tree(value, here)
+        elif not isinstance(value, (int, float)) or isinstance(value, bool):
+            raise SchemaError(f"value at {here!r} is not numeric: {value!r}")
+
+
+def validate_metrics_doc(doc: dict) -> dict:
+    """Validate a full metrics document; returns it unchanged.
+
+    Raises :class:`SchemaError` on a wrong/missing schema tag, a malformed
+    ``configs`` tree (every leaf must be numeric, every key must follow
+    the dotted grammar), or ``registry`` sections whose keys leave the
+    pinned namespace roots.
+    """
+    if not isinstance(doc, dict):
+        raise SchemaError("metrics document must be a JSON object")
+    if doc.get("schema") != SCHEMA_VERSION:
+        raise SchemaError(
+            f"unsupported schema {doc.get('schema')!r}; want {SCHEMA_VERSION!r}"
+        )
+    if not isinstance(doc.get("command"), str):
+        raise SchemaError("metrics document needs a string 'command'")
+    configs = doc.get("configs")
+    if not isinstance(configs, dict) or not configs:
+        raise SchemaError("metrics document needs a non-empty 'configs' object")
+    for name, sections in configs.items():
+        if not isinstance(sections, dict):
+            raise SchemaError(f"config {name!r} must map section -> metrics")
+        _validate_numeric_tree(sections, name)
+        registry = sections.get("registry")
+        if registry is not None:
+            validate_snapshot(registry)
+    return doc
+
+
+# ----------------------------------------------------------------------
+# Table rendering (the paper-style view over the same data)
+# ----------------------------------------------------------------------
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) >= 1:
+        return f"{int(value):,}"
+    return f"{value:,.2f}"
+
+
+def render_snapshot(title: str, snapshot: dict[str, float]) -> str:
+    """Key/value block over a flat snapshot (mirrors paper-table styling)."""
+    width = max((len(k) for k in snapshot), default=0)
+    lines = [title, "-" * max(len(title), width + 20)]
+    for key in sorted(snapshot):
+        lines.append(f"{key:<{width}}  {_format_value(snapshot[key])}")
+    return "\n".join(lines)
+
+
+def render_comparison(
+    title: str, rows: list[tuple[str, float, float]], col_a: str, col_b: str
+) -> str:
+    """Two-config comparison with a ratio column (Figure 3 shape)."""
+    header = f"{'metric':<24} {col_a:>18} {col_b:>18} {'B/A':>8}"
+    lines = [title, "=" * len(header), header, "-" * len(header)]
+    for label, a, b in rows:
+        ratio = b / a if a else float("inf") if b else 1.0
+        lines.append(
+            f"{label:<24} {_format_value(a):>18} {_format_value(b):>18} {ratio:>7.2f}x"
+        )
+    lines.append("=" * len(header))
+    return "\n".join(lines)

@@ -1,0 +1,139 @@
+"""The central metric registry: one namespaced key space over all layers.
+
+A :class:`MetricRegistry` holds three kinds of *owned* instruments —
+:class:`Counter`, :class:`Gauge` and latency histograms
+(:class:`~repro.flash.stats.LatencyAccumulator`) — plus *sources*: existing
+stats objects (anything :class:`~repro.obs.api.Snapshottable`) mounted
+under a namespace prefix.  ``snapshot()`` merges everything into one flat,
+deterministically ordered ``{dotted_key: number}`` dict, which is the
+single payload behind ``--json``, ``--metrics-out`` and ``repro report``.
+
+Sources are read live: registering ``region.stats`` under
+``region.rgHot`` costs nothing per write — the counters stay plain
+dataclass attribute increments on the hot path, and the registry only
+walks them when a snapshot is requested.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.flash.stats import LatencyAccumulator
+from repro.obs.api import MetricKeyError, check_key, prefixed, read_source
+
+
+class Counter:
+    """A monotonically increasing owned metric."""
+
+    __slots__ = ("key", "value")
+
+    def __init__(self, key: str) -> None:
+        self.key = check_key(key)
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be >= 0)."""
+        if amount < 0:
+            raise ValueError(f"counter {self.key} cannot decrease (got {amount})")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time owned metric, read from a callable at snapshot time."""
+
+    __slots__ = ("key", "read")
+
+    def __init__(self, key: str, read: Callable[[], float]) -> None:
+        self.key = check_key(key)
+        self.read = read
+
+
+class MetricRegistry:
+    """Counters, gauges, histograms and mounted sources under dotted keys."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, LatencyAccumulator] = {}
+        self._sources: dict[str, object] = {}
+
+    # ------------------------------------------------------------------
+    # Owned instruments
+    # ------------------------------------------------------------------
+    def counter(self, key: str) -> Counter:
+        """Get or create the counter registered under ``key``."""
+        existing = self._counters.get(key)
+        if existing is None:
+            self._reserve(key)
+            existing = self._counters[key] = Counter(key)
+        return existing
+
+    def gauge(self, key: str, read: Callable[[], float]) -> Gauge:
+        """Register a gauge read from ``read()`` at snapshot time."""
+        self._reserve(key)
+        gauge = self._gauges[key] = Gauge(key, read)
+        return gauge
+
+    def histogram(self, key: str) -> LatencyAccumulator:
+        """Get or create a latency histogram; snapshots expand to
+        ``<key>.count/mean_us/min_us/max_us/p50_us/p99_us``."""
+        existing = self._histograms.get(key)
+        if existing is None:
+            self._reserve(key)
+            existing = self._histograms[key] = LatencyAccumulator()
+        return existing
+
+    # ------------------------------------------------------------------
+    # Sources
+    # ------------------------------------------------------------------
+    def register_source(self, prefix: str, source) -> None:
+        """Mount a :class:`Snapshottable` (or zero-arg callable) under ``prefix``.
+
+        The source's local keys appear in :meth:`snapshot` as
+        ``<prefix>.<local_key>``.
+        """
+        check_key(prefix)
+        if prefix in self._sources:
+            raise MetricKeyError(f"source prefix {prefix!r} already registered")
+        self._sources[prefix] = source
+
+    def unregister(self, prefix: str) -> None:
+        """Unmount the source at ``prefix`` (no-op if absent)."""
+        self._sources.pop(prefix, None)
+
+    def source_prefixes(self) -> list[str]:
+        """Sorted list of mounted source prefixes."""
+        return sorted(self._sources)
+
+    # ------------------------------------------------------------------
+    # Snapshot
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict[str, float]:
+        """One flat, sorted ``{dotted_key: number}`` view of everything."""
+        merged: dict[str, float] = {}
+
+        def put(key: str, value: float) -> None:
+            if key in merged:
+                raise MetricKeyError(f"metric key collision on {key!r}")
+            merged[key] = float(value)
+
+        for key, counter in self._counters.items():
+            put(key, counter.value)
+        for key, gauge in self._gauges.items():
+            put(key, gauge.read())
+        for key, histogram in self._histograms.items():
+            for suffix, value in histogram.snapshot().items():
+                put(f"{key}.{suffix}", value)
+        for prefix, source in self._sources.items():
+            for key, value in prefixed(prefix, read_source(source)).items():
+                put(key, value)
+        return dict(sorted(merged.items()))
+
+    def namespaces(self) -> list[str]:
+        """Sorted root segments present in the current snapshot."""
+        return sorted({key.split(".", 1)[0] for key in self.snapshot()})
+
+    def _reserve(self, key: str) -> None:
+        check_key(key)
+        if key in self._counters or key in self._gauges or key in self._histograms:
+            raise MetricKeyError(f"metric key {key!r} already registered")

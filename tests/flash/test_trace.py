@@ -56,6 +56,15 @@ class TestRingBuffer:
         assert tracer.dropped == 2
         tracer.detach()
 
+    def test_eviction_keeps_newest_events(self, device):
+        tracer = FlashTracer.attach(device, capacity=3)
+        for page in range(7):
+            device.program_page(ppa(0, 0, page), b"x")
+        # oldest events fall off the front; the last `capacity` survive
+        assert [e.page for e in tracer.events] == [4, 5, 6]
+        assert tracer.dropped == 4
+        tracer.detach()
+
     def test_invalid_capacity(self, device):
         with pytest.raises(ValueError):
             FlashTracer(device, capacity=0)
@@ -88,18 +97,28 @@ class TestQueries:
         assert slowest.queue_us > 0
         tracer.detach()
 
-    def test_summary(self, device):
+    def test_snapshot(self, device):
         tracer = FlashTracer.attach(device)
         for page in range(4):
             device.program_page(ppa(0, 0, page), b"x")
-        summary = tracer.summary()
-        assert summary["events"] == 4
-        assert summary["ops"]["program_page"] == 4
-        assert summary["busiest_die"] == 0
+        snap = tracer.snapshot()
+        assert snap["events"] == 4.0
+        assert snap["ops.program_page"] == 4.0
+        assert snap["busiest_die"] == 0.0
         tracer.detach()
 
-    def test_empty_summary(self, device):
+    def test_empty_snapshot(self, device):
         tracer = FlashTracer(device)
-        summary = tracer.summary()
-        assert summary["events"] == 0
-        assert summary["busiest_die"] is None
+        snap = tracer.snapshot()
+        assert snap["events"] == 0.0
+        assert snap["busiest_die"] == -1.0
+
+    def test_legacy_summary_still_matches_snapshot(self, device):
+        tracer = FlashTracer.attach(device)
+        device.program_page(ppa(), b"x")
+        with pytest.warns(DeprecationWarning):
+            summary = tracer.summary()
+        assert summary["events"] == 1
+        assert summary["ops"]["program_page"] == 1
+        assert summary["busiest_die"] == 0
+        tracer.detach()

@@ -1,0 +1,38 @@
+"""The deprecated observability surfaces still work, and warn."""
+
+import importlib
+import sys
+
+import pytest
+
+from repro.flash import FlashDevice, small_geometry
+from repro.flash.trace import FlashTracer
+
+
+class TestFtlStatsShim:
+    def test_import_warns_and_aliases_management_stats(self):
+        sys.modules.pop("repro.ftl.stats", None)
+        with pytest.warns(DeprecationWarning, match="repro.ftl.stats is deprecated"):
+            module = importlib.import_module("repro.ftl.stats")
+        from repro.mapping.stats import ManagementStats
+
+        assert module.ManagementStats is ManagementStats
+
+    def test_package_import_does_not_warn(self, recwarn):
+        sys.modules.pop("repro.ftl", None)
+        importlib.import_module("repro.ftl")
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+
+class TestTracerSummaryShim:
+    def test_summary_warns_and_delegates(self):
+        tracer = FlashTracer(FlashDevice(small_geometry()))
+        with pytest.warns(DeprecationWarning, match="FlashTracer.snapshot"):
+            summary = tracer.summary()
+        assert summary["events"] == 0
+        assert summary["busiest_die"] is None
+
+    def test_snapshot_does_not_warn(self, recwarn):
+        tracer = FlashTracer(FlashDevice(small_geometry()))
+        tracer.snapshot()
+        assert not [w for w in recwarn if w.category is DeprecationWarning]

@@ -1,0 +1,113 @@
+"""Unit tests for the cross-layer event bus: ring buffer, filters, JSONL."""
+
+import io
+import json
+
+import pytest
+
+from repro.flash import FlashDevice, PhysicalPageAddress, small_geometry
+from repro.obs import EventBus, ObsEvent, write_jsonl
+
+
+class TestEmit:
+    def test_records_layer_kind_attrs(self):
+        bus = EventBus()
+        bus.emit(10.0, "host", "write", region="rgHot", rpn=3)
+        [event] = bus.events
+        assert (event.ts_us, event.layer, event.kind) == (10.0, "host", "write")
+        assert event.attrs == {"region": "rgHot", "rpn": 3}
+
+    def test_rejects_unknown_layer(self):
+        with pytest.raises(ValueError):
+            EventBus().emit(0.0, "kernel", "boom")
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            EventBus(capacity=0)
+
+
+class TestRingBuffer:
+    def test_eviction_keeps_newest_and_counts_drops(self):
+        bus = EventBus(capacity=3)
+        for i in range(7):
+            bus.emit(float(i), "flash", "program_page", page=i)
+        assert len(bus) == 3
+        assert bus.dropped == 4
+        # the last `capacity` events survive, oldest first
+        assert [e.attrs["page"] for e in bus.events] == [4, 5, 6]
+
+    def test_dropped_events_still_counted_in_snapshot(self):
+        bus = EventBus(capacity=2)
+        for i in range(5):
+            bus.emit(float(i), "flash", "erase_block")
+        snap = bus.snapshot()
+        assert snap["events"] == 2.0
+        assert snap["dropped"] == 3.0
+        assert snap["flash.erase_block"] == 2.0
+
+
+class TestSubscribers:
+    def test_subscriber_sees_live_events_until_unsubscribed(self):
+        bus = EventBus()
+        seen = []
+        unsubscribe = bus.subscribe(seen.append)
+        bus.emit(1.0, "host", "read")
+        unsubscribe()
+        bus.emit(2.0, "host", "read")
+        assert [e.ts_us for e in seen] == [1.0]
+
+
+class TestQueries:
+    def setup_method(self):
+        self.bus = EventBus()
+        self.bus.emit(1.0, "host", "write", region="rgHot")
+        self.bus.emit(2.0, "mapping", "gc_collect", die=0)
+        self.bus.emit(3.0, "flash", "program_page", die=0)
+        self.bus.emit(4.0, "flash", "program_page", die=1)
+
+    def test_between(self):
+        assert [e.kind for e in self.bus.between(2.0, 3.0)] == ["gc_collect", "program_page"]
+
+    def test_by_layer(self):
+        assert len(self.bus.by_layer("flash")) == 2
+
+    def test_matching_on_attrs(self):
+        assert len(self.bus.matching(layer="flash", die=0)) == 1
+        assert len(self.bus.matching(kind="program_page")) == 2
+
+
+class TestJsonl:
+    def test_round_trips_through_json_lines(self):
+        bus = EventBus()
+        bus.emit(5.0, "mapping", "gc_collect", die=1, block=2, valid_pages=3)
+        bus.emit(6.0, "flash", "erase_block", die=1, block=2)
+        out = io.StringIO()
+        assert bus.to_jsonl(out) == 2
+        lines = [json.loads(line) for line in out.getvalue().splitlines()]
+        assert lines[0] == {
+            "ts_us": 5.0, "layer": "mapping", "kind": "gc_collect",
+            "block": 2, "die": 1, "valid_pages": 3,
+        }
+        assert lines[1]["kind"] == "erase_block"
+
+    def test_write_jsonl_on_plain_iterable(self):
+        out = io.StringIO()
+        assert write_jsonl([ObsEvent(1.0, "host", "read", {})], out) == 1
+        assert json.loads(out.getvalue())["layer"] == "host"
+
+
+class TestDeviceIntegration:
+    def test_attach_event_bus_captures_native_commands(self):
+        device = FlashDevice(small_geometry())
+        bus = device.attach_event_bus()
+        assert device.attach_event_bus() is bus  # idempotent
+        device.program_page(PhysicalPageAddress(0, 0, 0), b"x")
+        device.read_page(PhysicalPageAddress(0, 0, 0))
+        kinds = [e.kind for e in bus.by_layer("flash")]
+        assert kinds == ["program_page", "read_page"]
+        assert bus.events[0].attrs["die"] == 0
+
+    def test_no_bus_attached_means_no_events(self):
+        device = FlashDevice(small_geometry())
+        assert device.events is None
+        device.program_page(PhysicalPageAddress(0, 0, 0), b"x")  # must not raise

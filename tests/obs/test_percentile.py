@@ -1,0 +1,58 @@
+"""Accuracy bound for the log-bucketed percentile estimator.
+
+The histogram's buckets grow by 10^(1/10) ~ 1.259x per step, and
+``percentile_us`` returns the upper bound of the bucket holding the
+requested rank — so the estimate never undershoots the exact sample
+percentile and overshoots by at most one bucket ratio (~+26%, i.e. the
+documented ~±12% value resolution around the bucket midpoint).
+"""
+
+import random
+
+import pytest
+
+from repro.flash.stats import LatencyAccumulator
+
+#: one bucket step: the worst-case over-estimation factor
+BUCKET_RATIO = 10 ** 0.1
+
+
+def exact_percentile(samples, fraction):
+    import math
+
+    ordered = sorted(samples)
+    rank = max(1, math.ceil(fraction * len(ordered) - 1e-9))
+    return ordered[rank - 1]
+
+
+@pytest.mark.parametrize("fraction", [0.50, 0.90, 0.99])
+@pytest.mark.parametrize("seed", [1, 7, 42])
+def test_percentile_within_one_bucket_of_exact(fraction, seed):
+    rng = random.Random(seed)
+    acc = LatencyAccumulator()
+    samples = [rng.lognormvariate(5.0, 1.2) for __ in range(5000)]
+    for s in samples:
+        acc.record(s)
+    approx = acc.percentile_us(fraction)
+    exact = exact_percentile(samples, fraction)
+    assert approx >= exact * (1 - 1e-9), "estimator must never undershoot the tail"
+    assert approx <= exact * BUCKET_RATIO * (1 + 1e-9), (
+        f"p{fraction:.0%}: approx {approx:.1f} vs exact {exact:.1f} "
+        f"exceeds one bucket ratio"
+    )
+
+
+def test_percentile_capped_at_observed_max():
+    acc = LatencyAccumulator()
+    for value in (10.0, 11.0, 12.0):
+        acc.record(value)
+    assert acc.percentile_us(1.0) <= 12.0 * (1 + 1e-9)
+
+
+def test_empty_and_invalid_fraction():
+    acc = LatencyAccumulator()
+    assert acc.percentile_us(0.99) == 0.0
+    with pytest.raises(ValueError):
+        acc.percentile_us(0.0)
+    with pytest.raises(ValueError):
+        acc.percentile_us(1.5)

@@ -1,0 +1,122 @@
+"""Unit tests for the central metric registry and its key grammar."""
+
+import pytest
+
+from repro.obs import (
+    MetricKeyError,
+    MetricRegistry,
+    Snapshottable,
+    check_key,
+    prefixed,
+)
+
+
+class TestKeyGrammar:
+    def test_accepts_dotted_identifiers(self):
+        for key in ("flash.erases", "region.rgHot.host_writes", "a", "a1._x"):
+            assert check_key(key) == key
+
+    def test_rejects_malformed_keys(self):
+        for key in ("", ".", "a..b", "a.", ".a", "a b", "a-b", "a/b"):
+            with pytest.raises(MetricKeyError):
+                check_key(key)
+
+    def test_prefixed_joins_with_dots(self):
+        assert prefixed("flash", {"erases": 3.0}) == {"flash.erases": 3.0}
+
+
+class TestOwnedInstruments:
+    def test_counter_increments(self):
+        registry = MetricRegistry()
+        counter = registry.counter("workload.commits")
+        counter.inc()
+        counter.inc(4)
+        assert registry.snapshot() == {"workload.commits": 5.0}
+
+    def test_counter_is_get_or_create(self):
+        registry = MetricRegistry()
+        assert registry.counter("workload.aborts") is registry.counter("workload.aborts")
+
+    def test_counter_rejects_decrease(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().counter("workload.x").inc(-1)
+
+    def test_gauge_reads_live(self):
+        registry = MetricRegistry()
+        box = {"value": 1.0}
+        registry.gauge("db.buffer.buffered_pages", lambda: box["value"])
+        assert registry.snapshot()["db.buffer.buffered_pages"] == 1.0
+        box["value"] = 7.0
+        assert registry.snapshot()["db.buffer.buffered_pages"] == 7.0
+
+    def test_histogram_expands_to_suffixed_keys(self):
+        registry = MetricRegistry()
+        histogram = registry.histogram("workload.txn_latency")
+        histogram.record(100.0)
+        histogram.record(300.0)
+        snap = registry.snapshot()
+        assert snap["workload.txn_latency.count"] == 2.0
+        assert snap["workload.txn_latency.mean_us"] == 200.0
+        assert snap["workload.txn_latency.max_us"] == 300.0
+
+    def test_duplicate_owned_key_rejected(self):
+        registry = MetricRegistry()
+        registry.gauge("flash.x", lambda: 0.0)
+        with pytest.raises(MetricKeyError):
+            registry.counter("flash.x")
+
+
+class TestSources:
+    class FakeStats:
+        def snapshot(self):
+            return {"hits": 3.0, "misses": 1.0}
+
+    def test_source_is_snapshottable(self):
+        assert isinstance(self.FakeStats(), Snapshottable)
+
+    def test_mounted_source_is_namespaced(self):
+        registry = MetricRegistry()
+        registry.register_source("db.buffer", self.FakeStats())
+        snap = registry.snapshot()
+        assert snap == {"db.buffer.hits": 3.0, "db.buffer.misses": 1.0}
+
+    def test_callable_source(self):
+        registry = MetricRegistry()
+        registry.register_source("mgmt", lambda: {"gc_erases": 2.0})
+        assert registry.snapshot() == {"mgmt.gc_erases": 2.0}
+
+    def test_duplicate_prefix_rejected(self):
+        registry = MetricRegistry()
+        registry.register_source("db.buffer", self.FakeStats())
+        with pytest.raises(MetricKeyError):
+            registry.register_source("db.buffer", self.FakeStats())
+
+    def test_unregister_and_prefixes(self):
+        registry = MetricRegistry()
+        registry.register_source("db.buffer", self.FakeStats())
+        assert registry.source_prefixes() == ["db.buffer"]
+        registry.unregister("db.buffer")
+        assert registry.source_prefixes() == []
+        assert registry.snapshot() == {}
+
+    def test_collision_between_source_and_counter(self):
+        registry = MetricRegistry()
+        registry.counter("db.buffer.hits")
+        registry.register_source("db.buffer", self.FakeStats())
+        with pytest.raises(MetricKeyError):
+            registry.snapshot()
+
+
+class TestSnapshot:
+    def test_sorted_deterministic_order(self):
+        registry = MetricRegistry()
+        registry.counter("workload.z").inc()
+        registry.counter("flash.a").inc()
+        registry.register_source("mgmt", lambda: {"m": 1.0})
+        assert list(registry.snapshot()) == ["flash.a", "mgmt.m", "workload.z"]
+
+    def test_namespaces(self):
+        registry = MetricRegistry()
+        registry.counter("flash.erases")
+        registry.counter("mgmt.gc_erases")
+        assert registry.namespaces() == ["flash", "mgmt"]

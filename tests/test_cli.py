@@ -1,8 +1,11 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
+from repro.obs import validate_metrics_doc
 
 
 class TestParser:
@@ -19,9 +22,29 @@ class TestParser:
             ["hotcold", "--writes", "500"],
             ["ftl", "--writes", "500"],
             ["recover", "--writes", "200"],
+            ["report", "some.json", "--validate"],
         ):
             args = parser.parse_args(argv)
             assert callable(args.fn)
+
+    def test_every_command_accepts_json_flag(self):
+        parser = build_parser()
+        for argv in (
+            ["info", "--json"],
+            ["fig2", "--json"],
+            ["fig3", "--json"],
+            ["hotcold", "--json"],
+            ["ftl", "--json"],
+            ["recover", "--json"],
+            ["report", "some.json", "--json"],
+        ):
+            assert parser.parse_args(argv).json is True
+
+    def test_metrics_out_on_experiment_commands(self):
+        parser = build_parser()
+        for cmd in ("fig3", "hotcold", "ftl"):
+            args = parser.parse_args([cmd, "--metrics-out", "out.json"])
+            assert args.metrics_out == "out.json"
 
 
 class TestCommands:
@@ -52,3 +75,67 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "recovered" in out
         assert "verified" in out
+
+
+class TestJsonOutput:
+    def _doc(self, capsys, argv):
+        assert main(argv) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_info_json_is_valid_metrics_doc(self, capsys):
+        doc = self._doc(capsys, ["info", "--json"])
+        validate_metrics_doc(doc)
+        assert doc["command"] == "info"
+        assert doc["configs"]["defaults"]["device"]["dies"] == 64
+
+    def test_fig2_json_counts_regions(self, capsys):
+        doc = self._doc(capsys, ["fig2", "--json"])
+        validate_metrics_doc(doc)
+        regions = doc["configs"]["placement"]["regions"]
+        assert sum(r["dies"] for r in regions.values()) == 64
+
+    def test_hotcold_json_matches_table_counters(self, capsys):
+        doc = self._doc(capsys, ["hotcold", "--writes", "1500", "--json"])
+        validate_metrics_doc(doc)
+        assert sorted(doc["configs"]) == ["mixed", "separated"]
+        for section in doc["configs"].values():
+            assert "summary" in section and "registry" in section
+
+    def test_recover_json_reports_recovery(self, capsys):
+        doc = self._doc(capsys, ["recover", "--writes", "400", "--json"])
+        validate_metrics_doc(doc)
+        summary = doc["configs"]["recover"]["summary"]
+        # pages allocated but never written aren't recoverable from metadata
+        assert 0 < summary["recovered_pages"] <= summary["live_pages"]
+
+
+class TestMetricsOutAndReport:
+    def test_hotcold_metrics_out_then_report(self, tmp_path, capsys):
+        out = tmp_path / "hc.json"
+        assert main(["hotcold", "--writes", "1200", "--metrics-out", str(out)]) == 0
+        table = capsys.readouterr().out
+        assert "separated" in table and str(out) in table
+        doc = json.loads(out.read_text())
+        validate_metrics_doc(doc)
+
+        assert main(["report", str(out), "--validate"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+        assert main(["report", str(out)]) == 0
+        rendered = capsys.readouterr().out
+        assert "mixed / summary" in rendered
+        assert "mgmt.gc_copybacks" in rendered
+
+    def test_report_json_round_trips_unchanged(self, tmp_path, capsys):
+        out = tmp_path / "hc.json"
+        assert main(["hotcold", "--writes", "800", "--json"]) == 0
+        original = capsys.readouterr().out
+        out.write_text(original)
+        assert main(["report", str(out), "--json"]) == 0
+        assert json.loads(capsys.readouterr().out) == json.loads(original)
+
+    def test_report_rejects_invalid_document(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "nope", "command": "x", "configs": {"a": {}}}))
+        assert main(["report", str(bad)]) == 1
+        assert "invalid metrics document" in capsys.readouterr().err
