@@ -11,6 +11,7 @@ Figure 3 measurement set as deltas over the measured window only.
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING
 
 from repro.core.placement import PlacementConfig
 from repro.db.database import Database
@@ -19,6 +20,9 @@ from repro.flash.timing import TimingModel
 from repro.tpcc.driver import Driver
 from repro.tpcc.loader import load_database
 from repro.tpcc.schema import ScaleConfig, bench_scale
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.faults.plan import FaultPlan
 
 
 @dataclass(frozen=True)
@@ -38,6 +42,12 @@ class TPCCExperimentConfig:
         timing: flash latency model.
         seed: workload RNG seed.
         overprovision: FTL-only export fraction.
+        initial_bad_block_rate / device_seed: factory bad-block model of
+            the underlying device.
+        fault_plan: optional fault-injection schedule, attached after load
+            so its operation numbers count from the start of the measured
+            run (``None`` keeps the device fault-free and bit-identical to
+            runs predating fault injection).
     """
 
     name: str
@@ -55,6 +65,9 @@ class TPCCExperimentConfig:
     seed: int = 42
     overprovision: float = 0.1
     cpu_us_per_op: float = 5.0
+    initial_bad_block_rate: float = 0.0
+    device_seed: int = 0
+    fault_plan: "FaultPlan | None" = None
 
     def with_budget(
         self, num_transactions: int | None = None, duration_us: float | None = None
@@ -193,6 +206,8 @@ def build_database(config: TPCCExperimentConfig) -> Database:
             geometry=config.geometry,
             placement=config.placement,
             timing=config.timing,
+            initial_bad_block_rate=config.initial_bad_block_rate,
+            device_seed=config.device_seed,
             **common,
         )
     return Database.on_block_device(
@@ -200,6 +215,8 @@ def build_database(config: TPCCExperimentConfig) -> Database:
         timing=config.timing,
         ftl=config.ftl,
         overprovision=config.overprovision,
+        initial_bad_block_rate=config.initial_bad_block_rate,
+        device_seed=config.device_seed,
         **common,
     )
 
@@ -267,6 +284,12 @@ def run_tpcc_experiment(config: TPCCExperimentConfig) -> TPCCExperimentResult:
         raise ValueError("experiment needs num_transactions and/or duration_us")
     db = build_database(config)
     load_end = load_database(db, config.scale, seed=config.seed)
+
+    if config.fault_plan is not None:
+        from repro.faults.injector import FaultInjector
+
+        # attached after load: plan op numbers count from the measured run
+        db.device.attach_fault_injector(FaultInjector(config.fault_plan))
 
     storage_before = _storage_counters(db)
     device_before = _device_counters(db)

@@ -63,7 +63,12 @@ HOT_COLD_CLASSES = (
 
 @dataclass(frozen=True)
 class SyntheticConfig:
-    """Parameters of a synthetic run."""
+    """Parameters of a synthetic run.
+
+    ``initial_bad_block_rate`` / ``device_seed`` configure the device's
+    factory bad-block map; ``fault_plan`` optionally attaches a seeded
+    fault injector for the measured write phase (preload is fault-free).
+    """
 
     classes: tuple[ObjectClass, ...] = HOT_COLD_CLASSES
     dies: int = 8
@@ -72,6 +77,9 @@ class SyntheticConfig:
     seed: int = 1
     timing: TimingModel = field(default_factory=TimingModel)
     gc_policy: str = "greedy"
+    initial_bad_block_rate: float = 0.0
+    device_seed: int = 0
+    fault_plan: object | None = None  # repro.faults.plan.FaultPlan
 
     def geometry(self) -> FlashGeometry:
         """A small device with ``dies`` dies (2 planes, 32-page blocks)."""
@@ -179,9 +187,22 @@ def _die_shares(
     return raw
 
 
+def _attach_fault_plan(device, config: SyntheticConfig) -> None:
+    """Arm the injector for the measured phase, if the config carries a plan."""
+    if config.fault_plan is not None:
+        from repro.faults.injector import FaultInjector
+
+        device.attach_fault_injector(FaultInjector(config.fault_plan))
+
+
 def run_noftl_synthetic(config: SyntheticConfig, separated: bool) -> SyntheticResult:
     """Run the synthetic workload on NoFTL, mixed or separated."""
-    store = NoFTLStore.create(config.geometry(), timing=config.timing)
+    store = NoFTLStore.create(
+        config.geometry(),
+        timing=config.timing,
+        initial_bad_block_rate=config.initial_bad_block_rate,
+        seed=config.device_seed,
+    )
     regions: list[Region] = []
     if separated:
         shares = _die_shares(config.classes, config.dies, config.utilization)
@@ -210,6 +231,7 @@ def run_noftl_synthetic(config: SyntheticConfig, separated: bool) -> SyntheticRe
         for p in pages:
             t = region.write(p, payload, t)
         page_sets.append(pages)
+    _attach_fault_plan(store.device, config)
 
     rng = random.Random(config.seed)
     cumulative = []
@@ -249,7 +271,12 @@ def run_ftl_synthetic(config: SyntheticConfig, ftl: str = "page", cmt_entries: i
     update-frequency separation — the best a knowledge-free device can do).
     """
     geometry = config.geometry()
-    device = FlashDevice(geometry, timing=config.timing)
+    device = FlashDevice(
+        geometry,
+        timing=config.timing,
+        initial_bad_block_rate=config.initial_bad_block_rate,
+        seed=config.device_seed,
+    )
     # match the NoFTL runs' effective utilization: live pages are the same
     # fraction of reclaimable (reserve-adjusted) capacity on both stacks
     reserve_pages = geometry.dies * 5 * geometry.pages_per_block
@@ -289,6 +316,7 @@ def run_ftl_synthetic(config: SyntheticConfig, ftl: str = "page", cmt_entries: i
     for lbas in lba_sets:
         for lba in lbas:
             t = dev.write(lba, payload, at=t)
+    _attach_fault_plan(device, config)
 
     rng = random.Random(config.seed)
     cumulative = []

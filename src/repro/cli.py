@@ -15,7 +15,10 @@ command also accepts ``--json``, which swaps the table for a validated
 ``repro.obs/v1`` metrics document on stdout (one shared serializer, see
 :mod:`repro.obs.export`).  The experiment commands (``fig3``,
 ``hotcold``, ``ftl``) additionally take ``--metrics-out FILE.json`` to
-save that same document next to the printed table.
+save that same document next to the printed table, plus the device
+robustness knobs ``--bad-block-rate`` / ``--device-seed`` (factory bad
+blocks) and ``--fault-plan FILE.json`` (seeded fault injection armed for
+the measured window; see :mod:`repro.faults`).
 """
 
 from __future__ import annotations
@@ -46,6 +49,16 @@ def _emit(args: argparse.Namespace, doc: dict, text: str) -> int:
 def _progress(args: argparse.Namespace, message: str) -> None:
     """Progress chatter; routed to stderr when stdout must stay JSON."""
     print(message, file=sys.stderr if args.json else sys.stdout, flush=True)
+
+
+def _load_fault_plan(args: argparse.Namespace):
+    """``--fault-plan FILE.json`` → :class:`~repro.faults.plan.FaultPlan`."""
+    path = getattr(args, "fault_plan", None)
+    if not path:
+        return None
+    from repro.faults.plan import FaultPlan
+
+    return FaultPlan.load(path)
 
 
 def _cmd_info(args: argparse.Namespace) -> int:
@@ -138,6 +151,9 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
         terminals=8,
         buffer_pages=768,
         flusher_interval=256,
+        initial_bad_block_rate=args.bad_block_rate,
+        device_seed=args.device_seed,
+        fault_plan=_load_fault_plan(args),
     )
     _progress(args, "deriving region placement (paper's method) ...")
     placement = derive_method_placement(config, args.transactions)
@@ -157,7 +173,12 @@ def _cmd_hotcold(args: argparse.Namespace) -> int:
     from repro.bench import SyntheticConfig, render_series, run_noftl_synthetic
     from repro.obs.export import metrics_doc
 
-    config = SyntheticConfig(writes=args.writes)
+    config = SyntheticConfig(
+        writes=args.writes,
+        initial_bad_block_rate=args.bad_block_rate,
+        device_seed=args.device_seed,
+        fault_plan=_load_fault_plan(args),
+    )
     mixed = run_noftl_synthetic(config, separated=False)
     separated = run_noftl_synthetic(config, separated=True)
     text = render_series(
@@ -180,7 +201,13 @@ def _cmd_ftl(args: argparse.Namespace) -> int:
     )
     from repro.obs.export import metrics_doc
 
-    config = SyntheticConfig(writes=args.writes, utilization=0.65)
+    config = SyntheticConfig(
+        writes=args.writes,
+        utilization=0.65,
+        initial_bad_block_rate=args.bad_block_rate,
+        device_seed=args.device_seed,
+        fault_plan=_load_fault_plan(args),
+    )
     results = [
         run_ftl_synthetic(config, ftl="page"),
         run_ftl_synthetic(config, ftl="dftl", cmt_entries=256),
@@ -286,6 +313,28 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="also save the repro.obs/v1 metrics document to FILE.json",
     )
+    device_opts = argparse.ArgumentParser(add_help=False)
+    device_opts.add_argument(
+        "--bad-block-rate",
+        type=float,
+        default=0.0,
+        metavar="FRACTION",
+        help="fraction of blocks marked factory-bad on the device (default 0)",
+    )
+    device_opts.add_argument(
+        "--device-seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="seed of the device's factory bad-block map (default 0)",
+    )
+    device_opts.add_argument(
+        "--fault-plan",
+        metavar="FILE.json",
+        default=None,
+        help="fault-injection schedule to arm for the measured run "
+        "(JSON, see repro.faults.plan)",
+    )
 
     info = sub.add_parser("info", parents=[common], help="package and simulator defaults")
     info.set_defaults(fn=_cmd_info)
@@ -295,7 +344,9 @@ def build_parser() -> argparse.ArgumentParser:
     fig2.set_defaults(fn=_cmd_fig2)
 
     fig3 = sub.add_parser(
-        "fig3", parents=[common, metrics_out], help="run the Figure 3 comparison"
+        "fig3",
+        parents=[common, metrics_out, device_opts],
+        help="run the Figure 3 comparison",
     )
     fig3.add_argument("--transactions", type=int, default=3000)
     fig3.add_argument("--warehouses", type=int, default=2)
@@ -304,13 +355,17 @@ def build_parser() -> argparse.ArgumentParser:
     fig3.set_defaults(fn=_cmd_fig3)
 
     hotcold = sub.add_parser(
-        "hotcold", parents=[common, metrics_out], help="hot/cold separation ablation"
+        "hotcold",
+        parents=[common, metrics_out, device_opts],
+        help="hot/cold separation ablation",
     )
     hotcold.add_argument("--writes", type=int, default=15_000)
     hotcold.set_defaults(fn=_cmd_hotcold)
 
     ftl = sub.add_parser(
-        "ftl", parents=[common, metrics_out], help="FTL vs NoFTL motivation experiment"
+        "ftl",
+        parents=[common, metrics_out, device_opts],
+        help="FTL vs NoFTL motivation experiment",
     )
     ftl.add_argument("--writes", type=int, default=10_000)
     ftl.set_defaults(fn=_cmd_ftl)

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.flash.device import FlashDevice
+from repro.flash.errors import DieFailedError
 from repro.flash.geometry import MIB
 from repro.mapping.blockinfo import DieBookkeeping
 from repro.mapping.engine import FlashSpaceEngine
@@ -117,6 +118,10 @@ class Region:
         self._next_rpn = 0
         self._free_rpns: list[int] = []
         self._allocated: set[int] = set()
+        #: dies lost to whole-die failures (region runs degraded)
+        self.failed_dies: list[int] = []
+        #: set by the RegionManager so the die pool learns about failures
+        self._on_die_failed = None
 
     # ------------------------------------------------------------------
     # Introspection
@@ -199,10 +204,20 @@ class Region:
         bus = self.device.events
         if bus is not None:
             bus.emit(issue, "host", "read", region=self.name, rpn=rpn)
-        data, end = self.engine.read(rpn, at)
-        self.stats.host_reads += 1
-        self.stats.host_read_latency.record(end - issue)
-        return data, end
+        last: DieFailedError | None = None
+        for __ in range(len(self.engine.dies) + 2):
+            try:
+                data, end = self.engine.read(rpn, at)
+            except DieFailedError as exc:
+                # a read never needs the dead die, but the background work
+                # it triggers (scrub, refresh erase) might
+                last = exc
+            else:
+                self.stats.host_reads += 1
+                self.stats.host_read_latency.record(end - issue)
+                return data, end
+            at = self._recover_die_failure(last.die, at)
+        raise last
 
     def write(self, rpn: int, data: bytes, at: float, group: int | None = None) -> float:
         """Write logical page ``rpn`` out-of-place; returns completion time.
@@ -218,10 +233,18 @@ class Region:
         bus = self.device.events
         if bus is not None:
             bus.emit(issue, "host", "write", region=self.name, rpn=rpn, obj=group)
-        end = self.engine.write(rpn, data, at, group=group)
-        self.stats.host_writes += 1
-        self.stats.host_write_latency.record(end - issue)
-        return end
+        last: DieFailedError | None = None
+        for __ in range(len(self.engine.dies) + 2):
+            try:
+                end = self.engine.write(rpn, data, at, group=group)
+            except DieFailedError as exc:
+                last = exc
+            else:
+                self.stats.host_writes += 1
+                self.stats.host_write_latency.record(end - issue)
+                return end
+            at = self._recover_die_failure(last.die, at)
+        raise last
 
     def write_atomic(
         self, entries: list[tuple[int, bytes]], at: float, group: int | None = None
@@ -241,14 +264,54 @@ class Region:
         if bus is not None:
             bus.emit(at, "host", "write_atomic", region=self.name,
                      pages=len(entries), obj=group)
-        end = self.engine.write_atomic(entries, at, group=group)
-        self.stats.host_writes += len(entries)
-        self.stats.host_write_latency.record(end - at)
-        return end
+        issue = at
+        last: DieFailedError | None = None
+        for __ in range(len(self.engine.dies) + 2):
+            try:
+                # the engine disowns a half-programmed batch before raising,
+                # so retrying after the rebuild re-drives it from scratch
+                end = self.engine.write_atomic(entries, at, group=group)
+            except DieFailedError as exc:
+                last = exc
+            else:
+                self.stats.host_writes += len(entries)
+                self.stats.host_write_latency.record(end - issue)
+                return end
+            at = self._recover_die_failure(last.die, at)
+        raise last
 
     def _check_allocated(self, rpn: int) -> None:
         if rpn not in self._allocated:
             raise RegionError(f"region {self.name}: rpn {rpn} is not allocated")
+
+    # ------------------------------------------------------------------
+    # Die failure (degraded mode)
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether the region has lost dies and runs at reduced capacity."""
+        return bool(self.failed_dies)
+
+    def _recover_die_failure(self, die: int, at: float) -> float:
+        """Rebuild the region around a write/erase-dead die.
+
+        The engine pulls every live page off the dead die (reads still
+        work) onto the survivors, then forgets the die; the region keeps
+        serving at reduced capacity.  The manager's callback quarantines
+        the die so it can never be handed to another region.  Concurrent
+        failure of a *second* die during the rebuild is not recovered
+        here — it propagates (documented single-failure model).
+        """
+        if die not in self.engine.dies:
+            return at  # several queued ops can observe the same failure
+        bus = self.device.events
+        if bus is not None:
+            bus.emit(at, "faults", "region_degraded", region=self.name, die=die)
+        __, at = self.engine.fail_die(die, at)
+        self.failed_dies.append(die)
+        if self._on_die_failed is not None:
+            self._on_die_failed(self, die)
+        return at
 
     # ------------------------------------------------------------------
     # Recovery
@@ -304,4 +367,6 @@ class Region:
             "used_pages": self.used_pages(),
             "gc_policy": self.config.gc_policy,
             "max_size": self.config.max_size_human,
+            "degraded": self.degraded,
+            "failed_dies": list(self.failed_dies),
         }

@@ -17,6 +17,10 @@ from repro.flash.address import PhysicalBlockAddress
 from repro.flash.device import FlashDevice
 from repro.mapping.blockinfo import BlockState, DieBookkeeping
 
+#: Owner sentinel for dies lost to whole-die failures.  A failed die is
+#: neither free nor owned: it must never re-enter the allocation pool.
+FAILED_DIE = "<failed>"
+
 
 class RegionManager:
     """Allocates dies to regions and manages their lifecycle.
@@ -50,6 +54,10 @@ class RegionManager:
     def free_dies(self) -> list[int]:
         """Dies not yet assigned to any region."""
         return [d for d, owner in self._die_owner.items() if owner is None]
+
+    def failed_dies(self) -> list[int]:
+        """Dies quarantined after whole-die failures."""
+        return [d for d, owner in self._die_owner.items() if owner == FAILED_DIE]
 
     def region(self, name: str) -> Region:
         """Return the region called ``name``."""
@@ -100,10 +108,16 @@ class RegionManager:
             books={d: self._books[d] for d in dies},
         )
         self._next_region_id += 1
+        region._on_die_failed = self._note_die_failed
         for d in dies:
             self._die_owner[d] = config.name
         self.regions[config.name] = region
         return region
+
+    def _note_die_failed(self, region: Region, die: int) -> None:
+        """Quarantine a die a region just lost (never re-allocated)."""
+        self._die_owner[die] = FAILED_DIE
+        self._books.pop(die, None)
 
     def drop_region(self, name: str, force: bool = False) -> None:
         """Drop a region, returning its dies to the pool.

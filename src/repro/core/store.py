@@ -112,6 +112,44 @@ class NoFTLStore:
             region.engine.check_consistency()
 
     # ------------------------------------------------------------------
+    # Health (degraded mode after whole-die failures)
+    # ------------------------------------------------------------------
+    @property
+    def degraded(self) -> bool:
+        """Whether any region lost dies to whole-die failures."""
+        return any(r.degraded for r in self.regions())
+
+    def failed_dies(self) -> list[int]:
+        """Dies quarantined after whole-die failures (never re-allocated)."""
+        return self.manager.failed_dies()
+
+    def capacity_pages(self) -> int:
+        """Logical pages all regions may hold with their *current* die
+        sets — this shrinks when a die failure degrades a region."""
+        return sum(r.capacity_pages() for r in self.regions())
+
+    def capacity_report(self) -> dict[str, object]:
+        """Degradation-aware capacity summary (the DBA's view).
+
+        The die-health information itself is treated as checkpointed
+        metadata (like the catalog): a production system persists it, so
+        recovery after a crash does not resurrect a failed die.
+        """
+        return {
+            "degraded": self.degraded,
+            "failed_dies": self.failed_dies(),
+            "capacity_pages": self.capacity_pages(),
+            "regions": {
+                r.name: {
+                    "capacity_pages": r.capacity_pages(),
+                    "used_pages": r.used_pages(),
+                    "failed_dies": list(r.failed_dies),
+                }
+                for r in self.regions()
+            },
+        }
+
+    # ------------------------------------------------------------------
     # Reporting
     # ------------------------------------------------------------------
     def aggregate_stats(self) -> dict[str, float]:

@@ -102,6 +102,8 @@ class Database:
         timing: TimingModel | None = None,
         global_wl_threshold: int = 64,
         system_dies: int | None = None,
+        initial_bad_block_rate: float = 0.0,
+        device_seed: int = 0,
         **db_kwargs,
     ) -> "Database":
         """Build a NoFTL database: regions created per ``placement``.
@@ -135,7 +137,11 @@ class Database:
                 f"device has {geometry.dies}"
             )
         store = NoFTLStore.create(
-            geometry, timing=timing, global_wl_threshold=global_wl_threshold
+            geometry,
+            timing=timing,
+            global_wl_threshold=global_wl_threshold,
+            initial_bad_block_rate=initial_bad_block_rate,
+            seed=device_seed,
         )
         for spec in placement.specs:
             store.create_region(spec.config, spec.num_dies)
@@ -163,11 +169,18 @@ class Database:
         overprovision: float = 0.1,
         gc_policy: str = "greedy",
         cmt_entries: int = 4096,
+        initial_bad_block_rate: float = 0.0,
+        device_seed: int = 0,
         **db_kwargs,
     ) -> "Database":
         """Build the same database on an FTL SSD (``ftl``: "page" or "dftl")."""
         geometry = geometry if geometry is not None else paper_geometry()
-        device = FlashDevice(geometry, timing=timing)
+        device = FlashDevice(
+            geometry,
+            timing=timing,
+            initial_bad_block_rate=initial_bad_block_rate,
+            seed=device_seed,
+        )
         if ftl == "page":
             ftl_device: PageMappingFTL = PageMappingFTL(
                 device, overprovision=overprovision, gc_policy=gc_policy

@@ -50,6 +50,7 @@ class LogRecordType(enum.IntEnum):
     UPDATE = 2
     DELETE = 3
     CHECKPOINT = 4
+    COMMIT = 5  #: transaction boundary (enables transactional replay)
 
 
 @dataclass(frozen=True)
@@ -166,6 +167,57 @@ class WriteAheadLog:
         __, at = self.append(LogRecordType.CHECKPOINT, "", RID(0, 0), b"", at)
         return self.flush(at)
 
+    def commit(self, at: float = 0.0) -> tuple[int, float]:
+        """Append a COMMIT boundary marker; returns ``(lsn, completion_us)``.
+
+        Group commit: the marker reaches flash with whatever page flush
+        carries it.  A transaction whose COMMIT never persisted is, by
+        definition, not durable — transactional replay discards it.
+        """
+        return self.append(LogRecordType.COMMIT, "", RID(0, 0), b"", at)
+
+    # ------------------------------------------------------------------
+    # Crash recovery
+    # ------------------------------------------------------------------
+    @classmethod
+    def for_recovery(
+        cls, backend: StorageBackend, space_id: int, at: float = 0.0
+    ) -> "WriteAheadLog":
+        """Re-open a log tablespace after a crash (the in-memory log is gone).
+
+        Probes the tablespace's pages in order and keeps every page that
+        reads back as a well-formed log page.  The scan stops at the first
+        unreadable or empty page: a power cut between page allocation and
+        the page write reaching flash leaves such a torn tail, and its
+        records were never durable — dropping them *is* the redo contract.
+        LSNs continue past the highest surviving record, so the log can
+        keep appending after recovery.
+        """
+        wal = cls(backend, space_id)
+        flushed = 0
+        last_lsn = 0
+        for page_no in range(backend.allocated_pages(space_id)):
+            try:
+                data, at = backend.read_page(space_id, page_no, at)
+            except Exception:  # noqa: BLE001 — unreadable == never durable
+                break
+            try:
+                (count,) = _PAGE_HEADER.unpack_from(data, 0)
+                offset = _PAGE_HEADER.size
+                lsns = []
+                for __ in range(count):
+                    record, offset = LogRecord.decode(data, offset)
+                    lsns.append(record.lsn)
+            except (struct.error, ValueError, IndexError, UnicodeDecodeError):
+                break
+            if not lsns:
+                break
+            flushed += 1
+            last_lsn = max(last_lsn, max(lsns))
+        wal._flushed_pages = flushed
+        wal._next_lsn = last_lsn + 1
+        return wal
+
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
@@ -185,24 +237,47 @@ class WriteAheadLog:
                 yield record, at
 
 
-def replay_log(db, wal: WriteAheadLog, at: float = 0.0) -> tuple[int, float]:
-    """Apply every persisted redo record to ``db`` (restored-backup replay).
+def _apply_record(db, record: LogRecord, at: float) -> float:
+    table = db.table(record.table)
+    if record.type is LogRecordType.INSERT:
+        row = table.info.heap.codec.decode(record.row_bytes)
+        __, at = table.insert(row, at)
+    elif record.type is LogRecordType.UPDATE:
+        row = table.info.heap.codec.decode(record.row_bytes)
+        __, at = table.update(record.rid, row, at)
+    elif record.type is LogRecordType.DELETE:
+        at = table.delete(record.rid, at)
+    return at
+
+
+def replay_log(
+    db, wal: WriteAheadLog, at: float = 0.0, transactional: bool = False
+) -> tuple[int, float]:
+    """Apply the persisted redo records to ``db`` (restored-backup replay).
 
     ``db`` must hold the same schema and the same state the logged database
     had when logging began.  Returns ``(records_applied, completion_us)``.
+
+    With ``transactional=True``, records buffer until their transaction's
+    COMMIT marker and an uncommitted tail is discarded — after a power
+    cut, a half-logged transaction must not leak into the replayed
+    database (the TPC-C consistency checks would catch it).
     """
     applied = 0
+    pending: list[LogRecord] = []
     for record, at in wal.records(at):
         if record.type is LogRecordType.CHECKPOINT:
             continue
-        table = db.table(record.table)
-        if record.type is LogRecordType.INSERT:
-            row = table.info.heap.codec.decode(record.row_bytes)
-            __, at = table.insert(row, at)
-        elif record.type is LogRecordType.UPDATE:
-            row = table.info.heap.codec.decode(record.row_bytes)
-            __, at = table.update(record.rid, row, at)
-        elif record.type is LogRecordType.DELETE:
-            at = table.delete(record.rid, at)
-        applied += 1
+        if record.type is LogRecordType.COMMIT:
+            for rec in pending:
+                at = _apply_record(db, rec, at)
+                applied += 1
+            pending = []
+            continue
+        if transactional:
+            pending.append(record)
+        else:
+            at = _apply_record(db, record, at)
+            applied += 1
+    # transactional mode: a pending tail with no COMMIT is discarded here
     return applied, at

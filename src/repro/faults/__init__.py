@@ -1,0 +1,32 @@
+"""Deterministic fault injection and the recovery paths that absorb it.
+
+The DBMS owning flash management (the paper's thesis) means owning flash
+*failure* management too.  This package provides:
+
+* :class:`FaultPlan` / :class:`FaultSpec` — a seeded, JSON-loadable
+  schedule of faults (``--fault-plan FILE.json`` on the CLI);
+* :class:`FaultInjector` — attached to a
+  :class:`~repro.flash.device.FlashDevice` via
+  ``attach_fault_injector``; off by default, None-guarded on the hot path;
+* :class:`FaultStats` — the ``faults.*`` metrics namespace, with the
+  double-entry identity ``injected == recovered + retired``;
+* :func:`run_tpcc_crash_harness` — the end-to-end power-cut → OOB
+  recovery → WAL replay → consistency-check loop.
+"""
+
+from repro.faults.harness import CrashHarnessResult, run_tpcc_crash_harness
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FAULT_KINDS, MAX_READ_RETRIES, FaultPlan, FaultPlanError, FaultSpec
+from repro.faults.stats import FaultStats
+
+__all__ = [
+    "FAULT_KINDS",
+    "MAX_READ_RETRIES",
+    "CrashHarnessResult",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "FaultSpec",
+    "FaultStats",
+    "run_tpcc_crash_harness",
+]

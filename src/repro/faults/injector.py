@@ -1,0 +1,203 @@
+"""The fault injector: a seeded saboteur wired into the flash device.
+
+A :class:`FaultInjector` is attached with
+:meth:`~repro.flash.device.FlashDevice.attach_fault_injector` and follows
+the EventBus pattern exactly: ``device.faults`` is ``None`` by default and
+every native command pays a single ``is not None`` test, so the hot path
+is unaffected when no plan is loaded (the bit-identity acceptance tests
+pin this).
+
+The injector keeps a global operation counter over the injectable native
+commands (READ PAGE, PROGRAM PAGE, ERASE BLOCK, COPYBACK and the
+multi-plane variants — OOB metadata reads are exempt so recovery scans
+never trip new faults) and evaluates the plan's specs in order on every
+command.  All randomness comes from one RNG seeded by the plan, so a run
+is exactly reproducible.
+
+Failure semantics injected here, recovered elsewhere:
+
+* transient read  — :class:`~repro.flash.errors.TransientReadError`; the
+  engine retries (bounded) and scrubs the block.
+* program failure — :class:`~repro.flash.errors.ProgramFaultError`, raised
+  *before* the cell array mutates; the engine salvages the block's live
+  pages, retires it as grown-bad and re-drives the write.
+* wear-out        — the targeted block is marked bad right after its next
+  erase; the engine's existing ``_retire_or_recycle`` does the rest.
+* die failure     — the die becomes write/erase-dead (reads still served,
+  so live data is rebuildable); every later program/erase/copyback on it
+  raises :class:`~repro.flash.errors.DieFailedError`.
+* power cut       — :class:`~repro.flash.errors.PowerCutError` propagates
+  to the harness, which recovers from OOB metadata and replays the WAL.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.faults.plan import FaultPlan, FaultSpec
+from repro.faults.stats import FaultStats
+from repro.flash.errors import (
+    DieFailedError,
+    PowerCutError,
+    ProgramFaultError,
+    TransientReadError,
+)
+
+if TYPE_CHECKING:
+    from repro.flash.device import FlashDevice
+
+#: Commands a write/erase-dead die rejects.
+_WRITE_OPS = frozenset({"program_page", "erase_block", "copyback", "program_multi_plane"})
+
+#: Which device commands each fault kind can fire on (``None`` = any).
+_KIND_OPS: dict[str, frozenset[str] | None] = {
+    "read_transient": frozenset({"read_page"}),
+    "program_fail": frozenset({"program_page"}),
+    "wearout": frozenset({"erase_block"}),
+    "die_fail": None,
+    "power_cut": None,
+}
+
+
+class _SpecState:
+    """Runtime state of one spec: how often it has fired."""
+
+    __slots__ = ("spec", "fired")
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        self.fired = 0
+
+    def exhausted(self) -> bool:
+        budget = self.spec.max_firings
+        return budget is not None and self.fired >= budget
+
+    def matches(self, op: str, die: int, block: int | None) -> bool:
+        ops = _KIND_OPS[self.spec.kind]
+        if ops is not None and op not in ops:
+            return False
+        # die_fail's `die` names the victim, not a command filter
+        if self.spec.die is not None and self.spec.kind != "die_fail":
+            if die != self.spec.die:
+                return False
+        if self.spec.block is not None and block != self.spec.block:
+            return False
+        return True
+
+    def should_fire(self, op: str, die: int, block: int | None, opno: int,
+                    rng: random.Random) -> bool:
+        if self.exhausted() or not self.matches(op, die, block):
+            return False
+        spec = self.spec
+        if spec.at_op is not None:
+            return opno >= spec.at_op
+        if spec.every is not None:
+            return opno % spec.every == 0
+        return rng.random() < spec.probability
+
+
+class FaultInjector:
+    """Evaluates a :class:`~repro.faults.plan.FaultPlan` against device traffic.
+
+    Attributes:
+        plan: the schedule being executed.
+        stats: the ``faults.*`` counters (shared with the recovery paths,
+            which report their outcomes here).
+        dead_dies: dies currently write/erase-dead.
+        device: back-reference set by ``attach_fault_injector``.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self.stats = FaultStats()
+        self.device: FlashDevice | None = None
+        self.dead_dies: set[int] = set()
+        self._rng = random.Random(plan.seed)
+        self._specs = [_SpecState(spec) for spec in plan.specs]
+        self._op = 0
+        # (die, block, page) -> remaining failures before a retry succeeds
+        self._pending_reads: dict[tuple[int, int, int], int] = {}
+        # (die, block) scheduled to wear out at its in-flight erase
+        self._pending_wearout: tuple[int, int] | None = None
+
+    @property
+    def op_number(self) -> int:
+        """Injectable device commands observed so far."""
+        return self._op
+
+    # ------------------------------------------------------------------
+    # Device hooks
+    # ------------------------------------------------------------------
+    def on_command(self, op: str, die: int, block: int | None = None,
+                   page: int | None = None, at: float = 0.0) -> None:
+        """Called by the device before executing each injectable command."""
+        self._op += 1
+        if self.dead_dies and die in self.dead_dies and op in _WRITE_OPS:
+            raise DieFailedError(die, op=op)
+        if op == "read_page":
+            key = (die, block, page)
+            remaining = self._pending_reads.get(key)
+            if remaining is not None:
+                if remaining > 1:
+                    self._pending_reads[key] = remaining - 1
+                else:
+                    del self._pending_reads[key]
+                self.stats.read_retry_attempts += 1
+                raise TransientReadError(die, block, page)
+        for state in self._specs:
+            if state.should_fire(op, die, block, self._op, self._rng):
+                state.fired += 1
+                self._fire(state.spec, op, die, block, page, at)
+
+    def after_erase(self, die: int, block: int, at: float = 0.0) -> None:
+        """Called by the device after an erase: apply a scheduled wear-out."""
+        if self._pending_wearout != (die, block):
+            return
+        self._pending_wearout = None
+        assert self.device is not None
+        self.device.dies[die].blocks[block].mark_bad()
+        self.stats.retired_wearout_blocks += 1
+        self._emit(at, "wearout_retired", die=die, block=block)
+
+    # ------------------------------------------------------------------
+    # Firing
+    # ------------------------------------------------------------------
+    def _fire(self, spec: FaultSpec, op: str, die: int, block: int | None,
+              page: int | None, at: float) -> None:
+        kind = spec.kind
+        if kind == "read_transient":
+            self.stats.injected_read_transient += 1
+            self.stats.read_retry_attempts += 1
+            if spec.retries > 1:
+                self._pending_reads[(die, block, page)] = spec.retries - 1
+            self._emit(at, "inject_read_transient", die=die, block=block, page=page,
+                       op=self._op, retries=spec.retries)
+            raise TransientReadError(die, block, page)
+        if kind == "program_fail":
+            self.stats.injected_program_fail += 1
+            self._emit(at, "inject_program_fail", die=die, block=block, page=page,
+                       op=self._op)
+            raise ProgramFaultError(die, block, page)
+        if kind == "wearout":
+            self.stats.injected_wearout += 1
+            self._pending_wearout = (die, block)
+            self._emit(at, "inject_wearout", die=die, block=block, op=self._op)
+            return
+        if kind == "die_fail":
+            target = spec.die if spec.die is not None else die
+            self.stats.injected_die_fail += 1
+            self.dead_dies.add(target)
+            self._emit(at, "inject_die_fail", die=target, op=self._op)
+            if die == target and op in _WRITE_OPS:
+                raise DieFailedError(target, op=op)
+            return
+        # power_cut
+        self.stats.injected_power_cut += 1
+        self._emit(at, "inject_power_cut", op=self._op)
+        raise PowerCutError(self._op)
+
+    def _emit(self, at: float, kind: str, **attrs: object) -> None:
+        bus = None if self.device is None else self.device.events
+        if bus is not None:
+            bus.emit(at, "faults", kind, **attrs)

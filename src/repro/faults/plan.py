@@ -1,0 +1,175 @@
+"""Declarative fault plans: what to break, when, and how often.
+
+A :class:`FaultPlan` is a seeded, JSON-loadable schedule of
+:class:`FaultSpec` entries.  Determinism is the design center: the same
+plan and seed against the same workload produces the same injected
+faults, the same recovery work and the same ``faults.*`` counters —
+acceptance tests pin exactly that.
+
+Fault kinds and the device command they attach to:
+
+==================  ====================  =====================================
+kind                fires on              recovery path
+==================  ====================  =====================================
+``read_transient``  READ PAGE             bounded read-retry, then scrub
+``program_fail``    PROGRAM PAGE          salvage + grown-bad retire + re-drive
+``wearout``         ERASE BLOCK           block retired via ``_retire_or_recycle``
+``die_fail``        any command           region rebuild onto surviving dies
+``power_cut``       any command           OOB recovery + WAL crash replay
+==================  ====================  =====================================
+
+Exactly one trigger per spec: ``at_op`` (the Nth injectable device
+command), ``every`` (each Nth matching command) or ``probability``
+(seeded per-command draw).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+#: Recognised fault kinds.
+FAULT_KINDS = ("read_transient", "program_fail", "wearout", "die_fail", "power_cut")
+
+#: Upper bound on read-retry attempts the engine performs before giving
+#: up on a page; ``FaultSpec.retries`` is validated against it so any
+#: plan-scheduled transient read is recoverable by construction.
+MAX_READ_RETRIES = 8
+
+
+class FaultPlanError(ValueError):
+    """A fault plan or spec is malformed."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    Attributes:
+        kind: one of :data:`FAULT_KINDS`.
+        at_op: fire once, at the first matching command whose global
+            operation number is ``>= at_op``.
+        every: fire at every ``every``-th matching command.
+        probability: fire on each matching command with this chance
+            (drawn from the plan's seeded RNG).
+        count: maximum number of firings (``None`` = unlimited for
+            ``every``/``probability``; ``at_op`` specs always fire once).
+        die: restrict to commands touching this die — except for
+            ``die_fail``, where it names the die to kill (default: the
+            die of the triggering command).
+        block: restrict to commands touching this block index.
+        retries: for ``read_transient``: failed attempts before a retry
+            succeeds (1 = first retry succeeds).
+    """
+
+    kind: str
+    at_op: int | None = None
+    every: int | None = None
+    probability: float = 0.0
+    count: int | None = None
+    die: int | None = None
+    block: int | None = None
+    retries: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise FaultPlanError(f"unknown fault kind {self.kind!r}; want one of {FAULT_KINDS}")
+        triggers = sum(
+            (self.at_op is not None, self.every is not None, self.probability > 0.0)
+        )
+        if triggers != 1:
+            raise FaultPlanError(
+                f"spec {self.kind!r} needs exactly one trigger "
+                f"(at_op / every / probability), got {triggers}"
+            )
+        if self.at_op is not None and self.at_op < 1:
+            raise FaultPlanError("at_op must be >= 1")
+        if self.every is not None and self.every < 1:
+            raise FaultPlanError("every must be >= 1")
+        if not 0.0 <= self.probability <= 1.0:
+            raise FaultPlanError("probability must be in [0, 1]")
+        if self.count is not None and self.count < 1:
+            raise FaultPlanError("count must be >= 1")
+        if not 1 <= self.retries <= MAX_READ_RETRIES:
+            raise FaultPlanError(f"retries must be in [1, {MAX_READ_RETRIES}]")
+
+    @property
+    def max_firings(self) -> int | None:
+        """Firing budget: ``at_op`` specs are one-shot, others follow ``count``."""
+        if self.at_op is not None:
+            return 1 if self.count is None else min(1, self.count)
+        return self.count
+
+    def to_dict(self) -> dict:
+        """JSON-ready dict (defaults omitted)."""
+        out: dict[str, object] = {"kind": self.kind}
+        for name in ("at_op", "every", "count", "die", "block"):
+            value = getattr(self, name)
+            if value is not None:
+                out[name] = value
+        if self.probability > 0.0:
+            out["probability"] = self.probability
+        if self.retries != 1:
+            out["retries"] = self.retries
+        return out
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "FaultSpec":
+        """Build a spec from a JSON object, rejecting unknown fields."""
+        if not isinstance(raw, dict):
+            raise FaultPlanError(f"fault spec must be an object, got {type(raw).__name__}")
+        known = {"kind", "at_op", "every", "probability", "count", "die", "block", "retries"}
+        unknown = set(raw) - known
+        if unknown:
+            raise FaultPlanError(f"unknown fault spec fields {sorted(unknown)}")
+        if "kind" not in raw:
+            raise FaultPlanError("fault spec needs a 'kind'")
+        return cls(**raw)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, seeded collection of fault specs."""
+
+    specs: tuple[FaultSpec, ...] = ()
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def to_json(self) -> str:
+        """Serialise to the ``--fault-plan`` file format."""
+        return json.dumps(
+            {"seed": self.seed, "faults": [s.to_dict() for s in self.specs]}, indent=2
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        """Parse the ``--fault-plan`` file format."""
+        try:
+            raw = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise FaultPlanError(f"fault plan is not valid JSON: {exc}") from None
+        if not isinstance(raw, dict):
+            raise FaultPlanError("fault plan must be a JSON object")
+        unknown = set(raw) - {"seed", "faults"}
+        if unknown:
+            raise FaultPlanError(f"unknown fault plan fields {sorted(unknown)}")
+        faults = raw.get("faults", [])
+        if not isinstance(faults, list):
+            raise FaultPlanError("'faults' must be a list of fault specs")
+        seed = raw.get("seed", 0)
+        if not isinstance(seed, int) or isinstance(seed, bool):
+            raise FaultPlanError("'seed' must be an integer")
+        return cls(specs=tuple(FaultSpec.from_dict(f) for f in faults), seed=seed)
+
+    @classmethod
+    def load(cls, path: str) -> "FaultPlan":
+        """Load a plan from a JSON file (the CLI's ``--fault-plan FILE``)."""
+        with open(path) as f:
+            return cls.from_json(f.read())
+
+    def save(self, path: str) -> None:
+        """Write the plan to ``path`` in the loadable format."""
+        with open(path, "w") as f:
+            f.write(self.to_json() + "\n")

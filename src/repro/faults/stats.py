@@ -1,0 +1,111 @@
+"""Fault accounting: every injected fault has exactly one outcome.
+
+:class:`FaultStats` is the ``faults.*`` namespace of the exported metrics
+document.  The bookkeeping is double-entry: each injected fault is later
+counted under exactly one *recovered* or *retired* outcome, so
+
+    ``injected.total == recovered.total + retired.total``
+
+holds whenever every recovery path has run to completion (the acceptance
+test asserts it).  ``work.*`` counters measure the cost of getting there
+(retry attempts, scrub/salvage relocations, rebuild traffic) and are not
+part of the identity.
+
+==========================  ===============================================
+injected kind               outcome counter
+==========================  ===============================================
+``read_transient``          ``recovered.read_retry``
+``program_fail``            ``retired.grown_bad_block``
+``wearout``                 ``retired.wearout_block``
+``die_fail``                ``retired.die``
+``power_cut``               ``recovered.crash_replay``
+==========================  ===============================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass
+class FaultStats:
+    """Counters for injected faults and their recovery outcomes."""
+
+    # injected — incremented by the injector at fire time
+    injected_read_transient: int = 0
+    injected_program_fail: int = 0
+    injected_wearout: int = 0
+    injected_die_fail: int = 0
+    injected_power_cut: int = 0
+
+    # recovered — the fault was absorbed without losing capacity
+    recovered_read_retry: int = 0
+    recovered_crash_replay: int = 0
+
+    # retired — the fault permanently removed capacity
+    retired_grown_bad_blocks: int = 0
+    retired_wearout_blocks: int = 0
+    retired_dies: int = 0
+
+    # work — recovery effort, not part of the accounting identity
+    read_retry_attempts: int = 0
+    scrubs: int = 0
+    scrub_relocations: int = 0
+    salvage_relocations: int = 0
+    redrive_writes: int = 0
+    rebuild_relocations: int = 0
+    replayed_records: int = 0
+
+    @property
+    def injected_total(self) -> int:
+        """All faults injected so far."""
+        return (
+            self.injected_read_transient
+            + self.injected_program_fail
+            + self.injected_wearout
+            + self.injected_die_fail
+            + self.injected_power_cut
+        )
+
+    @property
+    def recovered_total(self) -> int:
+        """Faults absorbed without capacity loss."""
+        return self.recovered_read_retry + self.recovered_crash_replay
+
+    @property
+    def retired_total(self) -> int:
+        """Faults that permanently retired capacity."""
+        return (
+            self.retired_grown_bad_blocks
+            + self.retired_wearout_blocks
+            + self.retired_dies
+        )
+
+    def accounting_closes(self) -> bool:
+        """Whether every injected fault has found its outcome yet."""
+        return self.injected_total == self.recovered_total + self.retired_total
+
+    def snapshot(self) -> dict[str, float]:
+        """Flat ``Snapshottable`` view; mounted under ``faults.``."""
+        return {
+            "injected.read_transient": float(self.injected_read_transient),
+            "injected.program_fail": float(self.injected_program_fail),
+            "injected.wearout": float(self.injected_wearout),
+            "injected.die_fail": float(self.injected_die_fail),
+            "injected.power_cut": float(self.injected_power_cut),
+            "injected.total": float(self.injected_total),
+            "recovered.read_retry": float(self.recovered_read_retry),
+            "recovered.crash_replay": float(self.recovered_crash_replay),
+            "recovered.total": float(self.recovered_total),
+            "retired.grown_bad_block": float(self.retired_grown_bad_blocks),
+            "retired.wearout_block": float(self.retired_wearout_blocks),
+            "retired.die": float(self.retired_dies),
+            "retired.total": float(self.retired_total),
+            "work.read_retry_attempts": float(self.read_retry_attempts),
+            "work.scrubs": float(self.scrubs),
+            "work.scrub_relocations": float(self.scrub_relocations),
+            "work.salvage_relocations": float(self.salvage_relocations),
+            "work.redrive_writes": float(self.redrive_writes),
+            "work.rebuild_relocations": float(self.rebuild_relocations),
+            "work.replayed_records": float(self.replayed_records),
+        }

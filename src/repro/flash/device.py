@@ -37,6 +37,7 @@ from repro.flash.stats import FlashStats
 from repro.flash.timing import DEFAULT_TIMING, TimingModel
 
 if TYPE_CHECKING:
+    from repro.faults.injector import FaultInjector
     from repro.obs.events import EventBus
 
 
@@ -100,6 +101,9 @@ class FlashDevice:
         self.clock = clock if clock is not None else SimClock()
         self.strict_plane_copyback = strict_plane_copyback
         self.events = events
+        #: optional fault injector (:mod:`repro.faults`); same None-guard
+        #: pattern as ``events`` — one attribute test per command when off
+        self.faults: FaultInjector | None = None
         self.dies: list[Die] = [Die(i, geometry) for i in range(geometry.dies)]
         self.channels: list[ResourceTimeline] = [
             ResourceTimeline(name=f"ch{i}") for i in range(geometry.channels)
@@ -142,6 +146,8 @@ class FlashDevice:
         """READ PAGE: array read on the die, then transfer over the channel."""
         ppa.validate(self.geometry)
         issue = self.clock.now if at is None else at
+        if self.faults is not None:
+            self.faults.on_command("read_page", ppa.die, ppa.block, ppa.page, at=issue)
         die = self.dies[ppa.die]
         data, metadata = die.blocks[ppa.block].read(ppa.page)
         start, array_done = die.timeline.reserve(issue, self.timing.read_us)
@@ -193,6 +199,10 @@ class FlashDevice:
                 f"payload of {len(data)} bytes exceeds page size {self.geometry.page_size}"
             )
         issue = self.clock.now if at is None else at
+        if self.faults is not None:
+            # before any state mutates: a program fault leaves the page
+            # unprogrammed and the timelines unreserved
+            self.faults.on_command("program_page", ppa.die, ppa.block, ppa.page, at=issue)
         die = self.dies[ppa.die]
         channel = self.channel_of_die(ppa.die)
         bus = self.timing.bus_us(self.geometry.page_size, self.geometry.page_size)
@@ -210,8 +220,12 @@ class FlashDevice:
         """ERASE BLOCK: array-only operation, no channel occupancy."""
         pba.validate(self.geometry)
         issue = self.clock.now if at is None else at
+        if self.faults is not None:
+            self.faults.on_command("erase_block", pba.die, pba.block, at=issue)
         die = self.dies[pba.die]
         die.blocks[pba.block].erase()
+        if self.faults is not None:
+            self.faults.after_erase(pba.die, pba.block, at=issue)
         start, end = die.timeline.reserve(issue, self.timing.erase_us)
         self.stats.record_erase(pba.die)
         if self.events is not None:
@@ -247,6 +261,8 @@ class FlashDevice:
                     f"strict plane copyback: {src} (plane {src_plane}) -> {dst} (plane {dst_plane})"
                 )
         issue = self.clock.now if at is None else at
+        if self.faults is not None:
+            self.faults.on_command("copyback", src.die, src.block, src.page, at=issue)
         die = self.dies[src.die]
         data, src_meta = die.blocks[src.block].read(src.page)
         die.blocks[dst.block].program(dst.page, data, metadata if metadata is not None else src_meta)
@@ -294,6 +310,10 @@ class FlashDevice:
                 raise DataError(f"two pages target plane {plane}")
             planes.add(plane)
         issue = self.clock.now if at is None else at
+        if self.faults is not None:
+            self.faults.on_command(
+                "program_multi_plane", die_index, ppas[0].block, ppas[0].page, at=issue
+            )
         die = self.dies[die_index]
         channel = self.channel_of_die(die_index)
         bus = self.timing.bus_us(self.geometry.page_size, self.geometry.page_size)
@@ -339,6 +359,10 @@ class FlashDevice:
                 raise DataError(f"two pages target plane {plane}")
             planes.add(plane)
         issue = self.clock.now if at is None else at
+        if self.faults is not None:
+            self.faults.on_command(
+                "read_multi_plane", die_index, ppas[0].block, ppas[0].page, at=issue
+            )
         die = self.dies[die_index]
         start, array_done = die.timeline.reserve(issue, self.timing.read_us)
         channel = self.channel_of_die(die_index)
@@ -368,6 +392,18 @@ class FlashDevice:
         if self.events is None:
             self.events = EventBus(capacity=capacity)
         return self.events
+
+    # ------------------------------------------------------------------
+    # Fault injection
+    # ------------------------------------------------------------------
+    def attach_fault_injector(self, injector: FaultInjector) -> FaultInjector:
+        """Wire a :class:`~repro.faults.injector.FaultInjector` into every
+        injectable command (OOB metadata reads are exempt, so recovery
+        scans never trip fresh faults).  Off by default; with no injector
+        attached each command pays one ``is not None`` test."""
+        injector.device = self
+        self.faults = injector
+        return injector
 
     # ------------------------------------------------------------------
     # Wear / health reporting

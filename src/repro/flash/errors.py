@@ -55,3 +55,64 @@ class BadBlockError(FlashError):
 
 class DataError(FlashError):
     """Page payload does not fit the geometry (too large, wrong type)."""
+
+
+class TransientReadError(ReadError):
+    """A READ PAGE failed recoverably (ECC miss); a retry may succeed.
+
+    Real NAND reports correctable-but-failed reads that succeed under a
+    read-retry sequence with shifted reference voltages.  Raised only by
+    fault injection (:mod:`repro.faults`); the management layer answers
+    with bounded retry followed by a salvage relocation (scrub).
+    """
+
+    def __init__(self, die: int, block: int, page: int) -> None:
+        super().__init__(f"transient read failure at die {die} block {block} page {page}")
+        self.die = die
+        self.block = block
+        self.page = page
+
+
+class ProgramFaultError(ProgramError):
+    """A PROGRAM PAGE failed in the cell array (grown bad block).
+
+    Raised before the page is committed: the block's previously programmed
+    pages remain readable, but the block must be retired.  The management
+    layer salvages the live pages and re-drives the write to a fresh
+    frontier.
+    """
+
+    def __init__(self, die: int, block: int, page: int) -> None:
+        super().__init__(f"program failure at die {die} block {block} page {page}")
+        self.die = die
+        self.block = block
+        self.page = page
+
+
+class DieFailedError(FlashError):
+    """A whole die stopped accepting programs and erases.
+
+    Models the die-level failure domain of the paper's 64-die board.  The
+    failure is *write-side*: previously programmed pages remain readable
+    (so live data can be rebuilt onto surviving dies), but every PROGRAM,
+    ERASE and COPYBACK on the die fails.
+    """
+
+    def __init__(self, die: int, op: str = "") -> None:
+        detail = f" ({op})" if op else ""
+        super().__init__(f"die {die} has failed; writes and erases rejected{detail}")
+        self.die = die
+        self.op = op
+
+
+class PowerCutError(FlashError):
+    """The simulated power was cut at a scheduled device operation.
+
+    Everything volatile — host mapping tables, buffer pool, unflushed WAL
+    pages — is lost; only programmed flash pages survive.  Harnesses catch
+    this, rebuild state via OOB recovery and replay the WAL.
+    """
+
+    def __init__(self, op_number: int) -> None:
+        super().__init__(f"power cut injected at device operation {op_number}")
+        self.op_number = op_number

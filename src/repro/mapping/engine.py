@@ -25,7 +25,12 @@ from __future__ import annotations
 from repro.flash.address import PhysicalBlockAddress, PhysicalPageAddress
 from repro.flash.block import PageMetadata
 from repro.flash.device import FlashDevice
-from repro.flash.errors import CopybackError
+from repro.flash.errors import (
+    CopybackError,
+    DieFailedError,
+    ProgramFaultError,
+    TransientReadError,
+)
 from repro.mapping.stats import ManagementStats
 from repro.mapping.blockinfo import BlockInfo, BlockState, DieBookkeeping
 from repro.mapping.policies import choose_victim_from_books
@@ -33,6 +38,12 @@ from repro.mapping.policies import choose_victim_from_books
 
 class SpaceFullError(Exception):
     """The engine's dies hold only valid data; nothing can be reclaimed."""
+
+
+#: Bound on re-driving a write after consecutive program failures.  Eight
+#: grown-bad blocks in a row on one logical write means the device (or the
+#: fault plan) is beyond salvage; give up rather than loop.
+MAX_WRITE_REDRIVES = 8
 
 
 class FlashSpaceEngine:
@@ -59,6 +70,9 @@ class FlashSpaceEngine:
         read_disturb_threshold: reads a block may absorb between erases
             before its live pages are refreshed (relocated) — real NAND
             loses data to read disturb; ``None`` disables the patrol.
+        max_read_retries: attempts a transient read failure is retried
+            before the error propagates (successful retries trigger a
+            scrub of the offending block).
     """
 
     def __init__(
@@ -75,6 +89,7 @@ class FlashSpaceEngine:
         obj_id: int | None = None,
         group_stripe_width: int = 8,
         read_disturb_threshold: int | None = None,
+        max_read_retries: int = 8,
     ) -> None:
         if not dies:
             raise ValueError("an engine needs at least one die")
@@ -103,6 +118,7 @@ class FlashSpaceEngine:
         self.obj_id = obj_id
         self.group_stripe_width = max(1, group_stripe_width)
         self.read_disturb_threshold = read_disturb_threshold
+        self.max_read_retries = max(1, max_read_retries)
 
         self._map: dict[int, int] = {}  # logical key -> packed ppa
         self._rmap: dict[int, int] = {}  # packed ppa -> logical key
@@ -162,10 +178,69 @@ class FlashSpaceEngine:
         if packed is None:
             raise KeyError(f"logical page {key} is not mapped")
         ppa = PhysicalPageAddress.from_int(packed, self.geometry)
-        result = self.device.read_page(ppa, at=at)
+        try:
+            result = self.device.read_page(ppa, at=at)
+        except TransientReadError:
+            result = self._retry_read(ppa, at, scrub=True)
         if self.read_disturb_threshold is not None:
             self._maybe_refresh(ppa, result.end_us)
         return result.data, result.end_us
+
+    def _retry_read(self, ppa: PhysicalPageAddress, at: float, scrub: bool):
+        """Bounded retry of a transient read failure; scrub on success.
+
+        Real controllers re-read with stepped reference voltages; here each
+        retry is another READ PAGE command.  A success means the data was
+        salvageable but the block is suspect, so (when ``scrub`` is set)
+        its live pages are relocated and the block erased — the same move
+        as a read-disturb refresh, charged asynchronously.
+        """
+        last: TransientReadError | None = None
+        for __ in range(self.max_read_retries):
+            try:
+                result = self.device.read_page(ppa, at=at)
+            except TransientReadError as exc:
+                last = exc
+                continue
+            faults = self.device.faults
+            if faults is not None:
+                faults.stats.recovered_read_retry += 1
+            bus = self.device.events
+            if bus is not None:
+                bus.emit(result.end_us, "faults", "read_recovered",
+                         die=ppa.die, block=ppa.block, page=ppa.page)
+            if scrub:
+                self._scrub_block(ppa, result.end_us)
+            return result
+        assert last is not None
+        raise last
+
+    def _scrub_block(self, ppa: PhysicalPageAddress, at: float) -> None:
+        """Relocate and erase a block that produced a transient read failure.
+
+        Only FULL blocks are scrubbed — open frontiers refresh naturally
+        when sealed and collected.  The erase routes through
+        :meth:`_retire_or_recycle`, so a scrub that pushes the block past
+        rated endurance retires it.
+        """
+        info = self.books[ppa.die].blocks[ppa.block]
+        if info.state is not BlockState.FULL:
+            return
+        moved = 0
+        t = at
+        for page in info.valid_pages():
+            t = self._relocate(PhysicalPageAddress(ppa.die, ppa.block, page), t)
+            moved += 1
+        self.device.erase_block(PhysicalBlockAddress(ppa.die, ppa.block), at=t)
+        self.stats.gc_erases += 1
+        self._retire_or_recycle(ppa.die, ppa.block)
+        faults = self.device.faults
+        if faults is not None:
+            faults.stats.scrubs += 1
+            faults.stats.scrub_relocations += moved
+        bus = self.device.events
+        if bus is not None:
+            bus.emit(t, "faults", "scrub", die=ppa.die, block=ppa.block, moved=moved)
 
     def _maybe_refresh(self, ppa: PhysicalPageAddress, at: float) -> None:
         """Refresh a block whose read count crossed the disturb threshold.
@@ -202,22 +277,31 @@ class FlashSpaceEngine:
         per-die frontiers — the knowledge-free placement an FTL performs
         and the paper's *traditional* baseline.
         """
-        if group is None:
-            die_index = self._pick_die()
-            at = self._collect_if_needed(die_index, at)
-            frontier = self._frontier(self._user_frontier, die_index)
-        else:
-            frontier, at = self._group_frontier(group, at)
-            die_index = frontier.die
-        page = frontier.written
-        ppa = PhysicalPageAddress(die_index, frontier.block, page)
-        meta = PageMetadata(lpn=key, seq=self.device.next_sequence(), obj_id=self.obj_id)
-        result = self.device.program_page(ppa, data, meta, at=at)
-        self.invalidate(key)
-        self._map_page(key, ppa, frontier, page, result.end_us)
-        if frontier.is_full and group is None:
-            self._user_frontier[die_index] = None
-        return result.end_us
+        last: ProgramFaultError | None = None
+        for __ in range(MAX_WRITE_REDRIVES):
+            if group is None:
+                die_index = self._pick_die()
+                at = self._collect_if_needed(die_index, at)
+                frontier = self._frontier(self._user_frontier, die_index)
+            else:
+                frontier, at = self._group_frontier(group, at)
+                die_index = frontier.die
+            page = frontier.written
+            ppa = PhysicalPageAddress(die_index, frontier.block, page)
+            meta = PageMetadata(lpn=key, seq=self.device.next_sequence(), obj_id=self.obj_id)
+            try:
+                result = self.device.program_page(ppa, data, meta, at=at)
+            except ProgramFaultError as exc:
+                last = exc
+                at = self._on_program_fault(frontier, at)
+                continue
+            self.invalidate(key)
+            self._map_page(key, ppa, frontier, page, result.end_us)
+            if frontier.is_full and group is None:
+                self._user_frontier[die_index] = None
+            return result.end_us
+        assert last is not None
+        raise last
 
     def write_atomic(
         self, entries: list[tuple[int, bytes]], at: float, group: int | None = None
@@ -237,37 +321,68 @@ class FlashSpaceEngine:
             raise ValueError("atomic write needs at least one page")
         if len({key for key, __ in entries}) != len(entries):
             raise ValueError("atomic write cannot contain one key twice")
-        atomic_id = self.device.next_sequence()
-        staged: list[tuple[int, PhysicalPageAddress, BlockInfo, int, float]] = []
-        for key, data in entries:
-            if group is None:
-                die_index = self._pick_die()
-                at = self._collect_if_needed(die_index, at)
-                frontier = self._frontier(self._user_frontier, die_index)
-            else:
-                frontier, at = self._group_frontier(group, at)
-                die_index = frontier.die
-            page = frontier.written
-            ppa = PhysicalPageAddress(die_index, frontier.block, page)
-            meta = PageMetadata(
-                lpn=key,
-                seq=self.device.next_sequence(),
-                obj_id=self.obj_id,
-                extra={"atomic_id": atomic_id, "atomic_size": len(entries)},
-            )
-            result = self.device.program_page(ppa, data, meta, at=at)
-            at = result.end_us
-            frontier.note_write(page, at)
-            if frontier.is_full and group is None:
-                self._user_frontier[die_index] = None  # stripes refill lazily
-            staged.append((key, ppa, frontier, page, at))
-        # "commit": flip all mappings only after the last page is on flash
-        for key, ppa, __, ___, ____ in staged:
-            self.invalidate(key)
-            packed = ppa.to_int(self.geometry)
-            self._map[key] = packed
-            self._rmap[packed] = key
-        return at
+        last: ProgramFaultError | None = None
+        for __ in range(MAX_WRITE_REDRIVES):
+            # a fresh atomic id per attempt: an aborted attempt's pages stay
+            # on flash as an incomplete batch, which recovery drops wholesale
+            atomic_id = self.device.next_sequence()
+            staged: list[tuple[int, PhysicalPageAddress, BlockInfo, int, float]] = []
+            try:
+                for key, data in entries:
+                    if group is None:
+                        die_index = self._pick_die()
+                        at = self._collect_if_needed(die_index, at)
+                        frontier = self._frontier(self._user_frontier, die_index)
+                    else:
+                        frontier, at = self._group_frontier(group, at)
+                        die_index = frontier.die
+                    page = frontier.written
+                    ppa = PhysicalPageAddress(die_index, frontier.block, page)
+                    meta = PageMetadata(
+                        lpn=key,
+                        seq=self.device.next_sequence(),
+                        obj_id=self.obj_id,
+                        extra={"atomic_id": atomic_id, "atomic_size": len(entries)},
+                    )
+                    result = self.device.program_page(ppa, data, meta, at=at)
+                    at = result.end_us
+                    frontier.note_write(page, at)
+                    if frontier.is_full and group is None:
+                        self._user_frontier[die_index] = None  # stripes refill lazily
+                    staged.append((key, ppa, frontier, page, at))
+            except ProgramFaultError as exc:
+                # abandon the attempt BEFORE retiring the block, so the
+                # salvage pass only relocates pages that are really mapped
+                last = exc
+                self._abandon_staged(staged)
+                at = self._on_program_fault(frontier, at)
+                continue
+            except DieFailedError:
+                # the region layer rebuilds around the die and retries the
+                # whole batch; disown this attempt's pages first
+                self._abandon_staged(staged)
+                raise
+            # "commit": flip all mappings only after the last page is on flash
+            for key, ppa, __, ___, ____ in staged:
+                self.invalidate(key)
+                packed = ppa.to_int(self.geometry)
+                self._map[key] = packed
+                self._rmap[packed] = key
+            return at
+        assert last is not None
+        raise last
+
+    def _abandon_staged(
+        self, staged: list[tuple[int, PhysicalPageAddress, BlockInfo, int, float]]
+    ) -> None:
+        """Disown the pages of an aborted atomic attempt.
+
+        They were never mapped, so invalidating them in the bookkeeping is
+        all that is needed for the live engine; on flash they remain as an
+        incomplete atomic batch, which :meth:`rebuild_from_flash` discards.
+        """
+        for __, ppa, ___, page, ____ in staged:
+            self.books[ppa.die].blocks[ppa.block].invalidate(page)
 
     def invalidate(self, key: int) -> None:
         """Drop the mapping for ``key`` (its physical page becomes garbage)."""
@@ -423,24 +538,84 @@ class FlashSpaceEngine:
         one.  (A refreshed sequence number could outrank a later committed
         write at recovery time.)"""
         die_index = src.die
-        frontier = self._frontier(self._gc_frontier, die_index)
-        page = frontier.written
-        dst = PhysicalPageAddress(die_index, frontier.block, page)
         src_packed = src.die * self._pages_per_die + src.block * self._pages_per_block + src.page
         key = self._rmap[src_packed]
+        last: ProgramFaultError | None = None
+        for __ in range(MAX_WRITE_REDRIVES):
+            frontier = self._frontier(self._gc_frontier, die_index)
+            page = frontier.written
+            dst = PhysicalPageAddress(die_index, frontier.block, page)
+            try:
+                result = self.device.copyback(src, dst, at=at)  # carries source OOB
+                self.stats.gc_copybacks += 1
+            except CopybackError:
+                read = self._read_for_relocation(src, at)
+                try:
+                    result = self.device.program_page(dst, read.data, read.metadata, at=read.end_us)
+                except ProgramFaultError as exc:
+                    last = exc
+                    at = self._on_program_fault(frontier, at)
+                    continue
+                self.stats.gc_reads += 1
+                self.stats.gc_programs += 1
+            self._unmap_physical(src, src_packed)
+            self._map_page(key, dst, frontier, page, result.end_us)
+            if frontier.is_full:
+                self._gc_frontier[die_index] = None
+            return result.end_us
+        assert last is not None
+        raise last
+
+    def _read_for_relocation(self, src: PhysicalPageAddress, at: float):
+        """Read a page for relocation, absorbing transient read failures.
+
+        No scrub on success: relocation callers are already emptying (or
+        retiring) the source block, so scheduling another scrub of it would
+        relocate the same pages twice.
+        """
         try:
-            result = self.device.copyback(src, dst, at=at)  # carries source OOB
-            self.stats.gc_copybacks += 1
-        except CopybackError:
-            read = self.device.read_page(src, at=at)
-            result = self.device.program_page(dst, read.data, read.metadata, at=read.end_us)
-            self.stats.gc_reads += 1
-            self.stats.gc_programs += 1
-        self._unmap_physical(src, src_packed)
-        self._map_page(key, dst, frontier, page, result.end_us)
-        if frontier.is_full:
+            return self.device.read_page(src, at=at)
+        except TransientReadError:
+            return self._retry_read(src, at, scrub=False)
+
+    def _on_program_fault(self, frontier: BlockInfo, at: float) -> float:
+        """Retire a write frontier whose program failed (grown bad block).
+
+        The failed page was never committed by the device, but the block
+        can no longer be trusted: detach it from every frontier slot,
+        salvage its already-programmed live pages (still readable — program
+        failures are per-page), and mirror the retirement on the device and
+        in the books.  No erase — a grown-bad block cannot be erased; since
+        it is marked bad, recovery scans skip it, so the stale page copies
+        on it are never resurrected.
+        """
+        die_index = frontier.die
+        block = frontier.block
+        if self._user_frontier.get(die_index) is frontier:
+            self._user_frontier[die_index] = None
+        if self._gc_frontier.get(die_index) is frontier:
             self._gc_frontier[die_index] = None
-        return result.end_us
+        for stripe in self._group_frontiers.values():
+            for i, slot in enumerate(stripe):
+                if slot is frontier:
+                    stripe[i] = None
+        frontier.seal()
+        moved = 0
+        for page in frontier.valid_pages():
+            at = self._relocate(PhysicalPageAddress(die_index, block, page), at)
+            moved += 1
+        self.device.dies[die_index].blocks[block].mark_bad()
+        self.books[die_index].mark_bad(block)
+        faults = self.device.faults
+        if faults is not None:
+            faults.stats.retired_grown_bad_blocks += 1
+            faults.stats.salvage_relocations += moved
+            faults.stats.redrive_writes += 1
+        bus = self.device.events
+        if bus is not None:
+            bus.emit(at, "faults", "grown_bad_block", die=die_index, block=block,
+                     salvaged=moved, obj=self.obj_id)
+        return at
 
     def _unmap_physical(self, ppa: PhysicalPageAddress, packed: int | None = None) -> None:
         """Invalidate ``ppa`` in bookkeeping and drop its reverse mapping.
@@ -494,8 +669,19 @@ class FlashSpaceEngine:
             try:
                 result = self.device.copyback(src, dst, at=at)  # carries source OOB
             except CopybackError:
-                read = self.device.read_page(src, at=at)
-                result = self.device.program_page(dst, read.data, read.metadata, at=read.end_us)
+                read = self._read_for_relocation(src, at)
+                try:
+                    result = self.device.program_page(
+                        dst, read.data, read.metadata, at=read.end_us
+                    )
+                except ProgramFaultError:
+                    # WL target went grown-bad mid-move: salvage what moved,
+                    # retire it, abandon this pass (cold block stays intact)
+                    return self._on_program_fault(target, read.end_us)
+                # the fallback is host-visible traffic either way: count it
+                # like the GC fallback so WA accounting stays closed
+                self.stats.gc_reads += 1
+                self.stats.gc_programs += 1
             at = result.end_us
             self._unmap_physical(src, src_packed)
             self._map_page(key, dst, target, page_out, at)
@@ -552,7 +738,7 @@ class FlashSpaceEngine:
                 src = PhysicalPageAddress(die_index, info.block, page)
                 packed = src.to_int(self.geometry)
                 key = self._rmap.pop(packed)
-                read = self.device.read_page(src, at=at)
+                read = self._read_for_relocation(src, at)
                 self.stats.gc_reads += 1
                 info.invalidate(page)
                 del self._map[key]
@@ -576,6 +762,57 @@ class FlashSpaceEngine:
             elif info.state is BlockState.OPEN:
                 books.return_erased_block(info.block)
         return books, at
+
+    def fail_die(self, die_index: int, at: float) -> tuple[int, float]:
+        """Rebuild around a write/erase-dead die; returns ``(moved, end_us)``.
+
+        The failure model (mirrored by the injector): the die stops
+        accepting PROGRAM and ERASE but still serves reads, so its live
+        pages are recoverable.  Unlike :meth:`evacuate_die` the blocks are
+        *not* erased (erase would fail) and the bookkeeping is not handed
+        to another engine: the die leaves the system permanently and the
+        engine's capacity shrinks accordingly.
+        """
+        if die_index not in self._user_frontier:
+            raise ValueError(f"die {die_index} does not belong to this engine")
+        if len(self.dies) == 1:
+            raise SpaceFullError(
+                f"die {die_index} failed and the engine has no surviving dies"
+            )
+        bus = self.device.events
+        if bus is not None:
+            bus.emit(at, "faults", "die_rebuild_start", die=die_index, obj=self.obj_id)
+        self.dies.remove(die_index)
+        self._user_frontier.pop(die_index)
+        self._gc_frontier.pop(die_index)
+        for stripe in self._group_frontiers.values():
+            for i, frontier in enumerate(stripe):
+                if frontier is not None and frontier.die == die_index:
+                    stripe[i] = None
+        books = self.books.pop(die_index)
+        moved = 0
+        # pull every live page off the dead die via normal reads + writes
+        # to the survivors (cross-die, so copyback cannot help here)
+        for info in books.blocks:
+            for page in list(info.valid_pages()):
+                src = PhysicalPageAddress(die_index, info.block, page)
+                packed = src.to_int(self.geometry)
+                key = self._rmap.pop(packed)
+                read = self._read_for_relocation(src, at)
+                self.stats.gc_reads += 1
+                info.invalidate(page)
+                del self._map[key]
+                at = self.write(key, read.data, read.end_us)
+                self.stats.gc_programs += 1
+                moved += 1
+        faults = self.device.faults
+        if faults is not None:
+            faults.stats.retired_dies += 1
+            faults.stats.rebuild_relocations += moved
+        if bus is not None:
+            bus.emit(at, "faults", "die_rebuild_done", die=die_index,
+                     moved=moved, obj=self.obj_id)
+        return moved, at
 
     # ------------------------------------------------------------------
     # Recovery

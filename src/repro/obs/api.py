@@ -26,6 +26,7 @@ ROOT_NAMESPACES: tuple[str, ...] = (
     "db",       # DBMS-side counters (db.buffer.*)
     "trace",    # event-bus / tracer counters
     "workload", # benchmark-driver metrics (TPS, transaction latencies)
+    "faults",   # fault injection & recovery accounting (FaultStats)
 )
 
 _KEY_RE = re.compile(r"^[A-Za-z0-9_]+(\.[A-Za-z0-9_]+)*$")

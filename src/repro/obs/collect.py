@@ -13,6 +13,7 @@ under its canonical namespace:
 ``db.buffer.*``           buffer-pool counters
 ``trace.*``               event-bus counters (when a bus is attached)
 ``workload.*``            benchmark-driver metrics (mounted by the harness)
+``faults.*``              fault injection & recovery (when an injector is attached)
 ========================  =====================================================
 
 Everything is mounted as a *source*, read live at ``snapshot()`` time:
@@ -53,6 +54,9 @@ def _mount_device(registry: MetricRegistry, device) -> None:
     bus = getattr(device, "events", None)
     if bus is not None:
         registry.register_source("trace", bus)
+    injector = getattr(device, "faults", None)
+    if injector is not None:
+        registry.register_source("faults", injector.stats)
 
 
 def registry_for_store(store) -> MetricRegistry:

@@ -24,7 +24,7 @@ from typing import Callable, IO, Iterable
 
 #: The pinned layer vocabulary; ``emit`` rejects anything else so event
 #: consumers can rely on it.
-LAYERS: tuple[str, ...] = ("host", "mapping", "flash")
+LAYERS: tuple[str, ...] = ("host", "mapping", "flash", "faults")
 
 
 @dataclass(frozen=True)

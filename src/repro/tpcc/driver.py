@@ -18,6 +18,7 @@ import heapq
 from dataclasses import dataclass
 
 from repro.db.database import Database
+from repro.flash.errors import PowerCutError
 from repro.tpcc.metrics import WorkloadMetrics
 from repro.tpcc.random_gen import TPCCRandom
 from repro.tpcc.schema import ScaleConfig
@@ -87,6 +88,10 @@ class Driver:
             )
             for i in range(terminals)
         ]
+        #: set when an injected power cut ended the run early
+        self.crashed = False
+        #: device operation number of the power cut, if any
+        self.crash_op: int | None = None
 
     def _pick_kind(self) -> str:
         draw = self.rng.uniform(1, 100)
@@ -135,9 +140,21 @@ class Driver:
             terminal = heapq.heappop(heap)
             if deadline is not None and terminal.clock_us >= deadline:
                 continue  # terminal retired; do not push back
-            result = self._execute(terminal, self._pick_kind())
+            try:
+                result = self._execute(terminal, self._pick_kind())
+                end = result.end_us
+                if self.db.wal is not None:
+                    # commit boundary marker: transactional replay applies a
+                    # transaction's records only when this reached flash
+                    __, end = self.db.wal.commit(end)
+            except PowerCutError as cut:
+                # lights out: volatile state (buffer pool, WAL page buffer,
+                # host mapping) is gone; the caller runs crash recovery
+                self.crashed = True
+                self.crash_op = cut.op_number
+                break
             metrics.record(result)
             executed += 1
-            terminal.clock_us = result.end_us + self.think_time_us
+            terminal.clock_us = end + self.think_time_us
             heapq.heappush(heap, terminal)
         return metrics

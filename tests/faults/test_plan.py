@@ -1,0 +1,93 @@
+"""FaultPlan / FaultSpec: validation and the --fault-plan file format."""
+
+import pytest
+
+from repro.faults import FAULT_KINDS, MAX_READ_RETRIES, FaultPlan, FaultPlanError, FaultSpec
+
+
+class TestFaultSpecValidation:
+    def test_every_kind_is_constructible(self):
+        for kind in FAULT_KINDS:
+            spec = FaultSpec(kind=kind, at_op=10)
+            assert spec.kind == kind
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(FaultPlanError, match="unknown fault kind"):
+            FaultSpec(kind="meteor_strike", at_op=1)
+
+    def test_exactly_one_trigger_required(self):
+        with pytest.raises(FaultPlanError, match="exactly one trigger"):
+            FaultSpec(kind="read_transient")  # none
+        with pytest.raises(FaultPlanError, match="exactly one trigger"):
+            FaultSpec(kind="read_transient", at_op=1, every=2)  # two
+        with pytest.raises(FaultPlanError, match="exactly one trigger"):
+            FaultSpec(kind="read_transient", every=2, probability=0.5)
+
+    def test_trigger_bounds(self):
+        with pytest.raises(FaultPlanError, match="at_op"):
+            FaultSpec(kind="power_cut", at_op=0)
+        with pytest.raises(FaultPlanError, match="every"):
+            FaultSpec(kind="wearout", every=0)
+        with pytest.raises(FaultPlanError, match="probability"):
+            FaultSpec(kind="read_transient", probability=1.5)
+        with pytest.raises(FaultPlanError, match="count"):
+            FaultSpec(kind="read_transient", every=3, count=0)
+
+    def test_retries_bounded_by_engine_maximum(self):
+        FaultSpec(kind="read_transient", at_op=1, retries=MAX_READ_RETRIES)
+        with pytest.raises(FaultPlanError, match="retries"):
+            FaultSpec(kind="read_transient", at_op=1, retries=MAX_READ_RETRIES + 1)
+        with pytest.raises(FaultPlanError, match="retries"):
+            FaultSpec(kind="read_transient", at_op=1, retries=0)
+
+    def test_at_op_specs_are_one_shot(self):
+        assert FaultSpec(kind="die_fail", at_op=5).max_firings == 1
+        assert FaultSpec(kind="die_fail", at_op=5, count=9).max_firings == 1
+        assert FaultSpec(kind="read_transient", every=3).max_firings is None
+        assert FaultSpec(kind="read_transient", every=3, count=4).max_firings == 4
+
+
+class TestPlanSerialization:
+    def _plan(self):
+        return FaultPlan(
+            specs=(
+                FaultSpec(kind="read_transient", probability=0.01, count=5, retries=3),
+                FaultSpec(kind="program_fail", every=100, die=2),
+                FaultSpec(kind="die_fail", at_op=1000, die=5),
+                FaultSpec(kind="power_cut", at_op=2200),
+            ),
+            seed=7,
+        )
+
+    def test_json_round_trip(self):
+        plan = self._plan()
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+    def test_file_round_trip(self, tmp_path):
+        plan = self._plan()
+        path = str(tmp_path / "plan.json")
+        plan.save(path)
+        assert FaultPlan.load(path) == plan
+
+    def test_defaults_omitted_from_json(self):
+        text = FaultPlan(specs=(FaultSpec(kind="power_cut", at_op=3),)).to_json()
+        assert "retries" not in text
+        assert "probability" not in text
+
+    def test_rejects_malformed_documents(self):
+        with pytest.raises(FaultPlanError, match="not valid JSON"):
+            FaultPlan.from_json("{nope")
+        with pytest.raises(FaultPlanError, match="JSON object"):
+            FaultPlan.from_json("[1, 2]")
+        with pytest.raises(FaultPlanError, match="unknown fault plan fields"):
+            FaultPlan.from_json('{"seed": 1, "faults": [], "extra": true}')
+        with pytest.raises(FaultPlanError, match="'seed' must be an integer"):
+            FaultPlan.from_json('{"seed": "x", "faults": []}')
+        with pytest.raises(FaultPlanError, match="list"):
+            FaultPlan.from_json('{"faults": {}}')
+
+    def test_rejects_malformed_specs(self):
+        with pytest.raises(FaultPlanError, match="needs a 'kind'"):
+            FaultPlan.from_json('{"faults": [{"at_op": 1}]}')
+        with pytest.raises(FaultPlanError, match="unknown fault spec fields"):
+            FaultPlan.from_json('{"faults": [{"kind": "power_cut", "at_op": 1, "wat": 2}]}')

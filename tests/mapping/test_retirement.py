@@ -1,0 +1,205 @@
+"""Block retirement paths: GC, read-disturb refresh, WL and factory bad blocks.
+
+Coverage for the pre-existing ``_retire_or_recycle`` path under every
+erase site, plus the wear-levelling fallback's traffic accounting (the
+stats-drift fix): the copyback-constrained WL move must count its
+read+program pairs exactly like the GC fallback does.
+"""
+
+import random
+
+from repro.core import NoFTLStore, RegionConfig
+from repro.faults import FaultInjector, FaultPlan, FaultSpec
+from repro.flash import FlashDevice, FlashGeometry, instant_timing
+from repro.mapping import DieBookkeeping, FlashSpaceEngine, ManagementStats
+from repro.mapping.blockinfo import BlockState
+
+
+def make_engine(
+    dies=1,
+    planes_per_die=1,
+    blocks_per_plane=12,
+    pages_per_block=8,
+    max_pe_cycles=1_000_000,
+    strict_plane_copyback=False,
+    **engine_kwargs,
+):
+    geometry = FlashGeometry(
+        channels=1,
+        chips_per_channel=dies,
+        dies_per_chip=1,
+        planes_per_die=planes_per_die,
+        blocks_per_plane=blocks_per_plane,
+        pages_per_block=pages_per_block,
+        page_size=128,
+        oob_size=16,
+        max_pe_cycles=max_pe_cycles,
+    )
+    device = FlashDevice(
+        geometry, timing=instant_timing(), strict_plane_copyback=strict_plane_copyback
+    )
+    die_list = list(range(dies))
+    books = {
+        d: DieBookkeeping(d, geometry.blocks_per_die, geometry.pages_per_block)
+        for d in die_list
+    }
+    return FlashSpaceEngine(device, die_list, books, ManagementStats(), **engine_kwargs)
+
+
+def bad_blocks(engine):
+    return [
+        (d, info.block)
+        for d in engine.dies
+        for info in engine.books[d].blocks
+        if info.state is BlockState.BAD
+    ]
+
+
+def assert_frontiers_skip_bad(engine):
+    """No frontier — user, GC or group — may sit on a retired block."""
+    for die, info in engine._user_frontier.items():
+        if info is not None:
+            assert not engine.device.dies[die].blocks[info.block].is_bad
+    for die, info in engine._gc_frontier.items():
+        if info is not None:
+            assert not engine.device.dies[die].blocks[info.block].is_bad
+    for stripe in engine._group_frontiers.values():
+        for info in stripe:
+            if info is not None:
+                assert not engine.device.dies[info.die].blocks[info.block].is_bad
+
+
+class TestRetireDuringGC:
+    def test_worn_block_retires_at_gc_erase_and_frontiers_skip_it(self):
+        engine = make_engine(max_pe_cycles=1_000_000)
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec(kind="wearout", every=1, count=2),))
+        )
+        engine.device.attach_fault_injector(injector)
+        capacity = engine.safe_capacity_pages()
+        keys = list(range(capacity // 2))
+        payloads = {}
+        t = 0.0
+        rng = random.Random(5)
+        i = 0
+        # the first two GC erases hit injected wear-out; keep churning well
+        # past them so frontiers must route around the retired blocks
+        while injector.stats.retired_wearout_blocks < 2 or i < capacity * 6:
+            key = rng.choice(keys)
+            payloads[key] = bytes([i % 256])
+            t = engine.write(key, payloads[key], at=t)
+            i += 1
+            assert i < capacity * 40, "GC never retired the worn blocks"
+        retired = bad_blocks(engine)
+        assert len(retired) == 2
+        for die, block in retired:
+            assert engine.device.dies[die].blocks[block].is_bad
+        assert_frontiers_skip_bad(engine)
+        for key, payload in payloads.items():
+            assert engine.read(key, at=t)[0] == payload
+        engine.check_consistency()
+
+
+class TestRetireDuringReadDisturbRefresh:
+    def test_worn_block_retires_at_refresh_erase(self):
+        threshold = 10
+        engine = make_engine(read_disturb_threshold=threshold)
+        per_block = engine.geometry.pages_per_block
+        payloads = {}
+        t = 0.0
+        for key in range(per_block):  # exactly fills block 0 -> FULL
+            payloads[key] = bytes([key])
+            t = engine.write(key, payloads[key], at=t)
+        injector = FaultInjector(
+            FaultPlan(specs=(FaultSpec(kind="wearout", every=1, count=1),))
+        )
+        engine.device.attach_fault_injector(injector)
+        # hammer one page until the patrol refreshes the block; its erase
+        # trips the injected wear-out and _retire_or_recycle retires it
+        for __ in range(threshold + 2):
+            data, t = engine.read(0, at=t)
+            assert data == payloads[0]
+        assert engine.stats.wl_erases == 1  # the refresh ran
+        assert injector.stats.retired_wearout_blocks == 1
+        assert bad_blocks(engine) == [(0, 0)]
+        assert_frontiers_skip_bad(engine)
+        for key, payload in payloads.items():
+            assert engine.read(key, at=t)[0] == payload
+        engine.check_consistency()
+
+
+class TestFactoryBadBlocks:
+    def test_region_allocation_succeeds_on_factory_marked_device(self):
+        geometry = FlashGeometry(
+            channels=2,
+            chips_per_channel=2,
+            dies_per_chip=1,
+            planes_per_die=1,
+            blocks_per_plane=16,
+            pages_per_block=8,
+            page_size=128,
+            oob_size=16,
+        )
+        pristine = NoFTLStore.create(geometry, timing=instant_timing())
+        store = NoFTLStore.create(
+            geometry, timing=instant_timing(), initial_bad_block_rate=0.15, seed=11
+        )
+        factory_bad = sum(
+            1 for die in store.device.dies for blk in die.blocks if blk.is_bad
+        )
+        assert factory_bad > 0, "seed 11 produced no factory bad blocks; adjust"
+        region = store.create_region(RegionConfig(name="rg"), num_dies=4)
+        baseline = pristine.create_region(RegionConfig(name="rg"), num_dies=4)
+        assert region.capacity_pages() < baseline.capacity_pages()
+        pages = region.allocate(region.capacity_pages() // 2)
+        t = 0.0
+        for i, rpn in enumerate(pages):
+            t = region.write(rpn, bytes([i % 256]), t)
+        for i, rpn in enumerate(pages):
+            assert region.read(rpn, t)[0] == bytes([i % 256])
+        # no frontier ever landed on a factory-bad block
+        assert_frontiers_skip_bad(region.engine)
+        store.check_consistency()
+
+
+class TestWearLevelFallbackAccounting:
+    def test_cross_plane_wl_move_counts_reads_and_programs(self):
+        # strict-plane copyback forces the WL move into its read+program
+        # fallback; the fix pins that it counts gc_reads/gc_programs just
+        # like the GC fallback (previously it counted neither)
+        engine = make_engine(
+            planes_per_die=2,
+            blocks_per_plane=8,
+            pages_per_block=4,
+            strict_plane_copyback=True,
+            wear_level_threshold=2,
+        )
+        per_block = engine.geometry.pages_per_block
+        payloads = {}
+        t = 0.0
+        for key in range(per_block):  # block 0 (plane 0) becomes FULL
+            payloads[key] = bytes([key])
+            t = engine.write(key, payloads[key], at=t)
+        # age a free plane-1 block so it becomes the WL target and the
+        # spread over the cold block 0 exceeds the threshold
+        from repro.flash.address import PhysicalBlockAddress
+
+        # planes interleave (plane = block % planes_per_die): block 0 is
+        # plane 0, so any odd free block is a cross-plane WL target
+        target_block = 9
+        assert engine.geometry.plane_of_block(target_block) != engine.geometry.plane_of_block(0)
+        for __ in range(5):
+            engine.device.erase_block(PhysicalBlockAddress(0, target_block), at=t)
+
+        assert engine.stats.gc_reads == 0
+        assert engine.stats.gc_programs == 0
+        t = engine._wear_level_die(0, t)
+
+        assert engine.stats.wl_moves == per_block
+        assert engine.stats.wl_erases == 1
+        assert engine.stats.gc_copybacks == 0  # every copyback was refused
+        assert engine.stats.gc_reads == per_block  # the drift fix
+        assert engine.stats.gc_programs == per_block
+        for key, payload in payloads.items():
+            assert engine.read(key, at=t)[0] == payload
+        engine.check_consistency()

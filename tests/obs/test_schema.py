@@ -26,7 +26,9 @@ def _native_db():
 
 class TestPinnedNamespaces:
     def test_root_namespaces_are_pinned(self):
-        assert ROOT_NAMESPACES == ("flash", "mgmt", "region", "db", "trace", "workload")
+        assert ROOT_NAMESPACES == (
+            "flash", "mgmt", "region", "db", "trace", "workload", "faults"
+        )
 
     def test_schema_version_is_pinned(self):
         assert SCHEMA_VERSION == "repro.obs/v1"
