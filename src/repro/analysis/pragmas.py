@@ -1,0 +1,119 @@
+"""Per-line allowlisting: ``# lint: ok(<rule-id>[, <rule-id>...]) -- why``.
+
+A pragma suppresses matching violations reported on its own line, or —
+when the pragma comment stands alone on a line — on the next
+non-comment line below it.  The optional ``-- why`` tail is the
+reviewer-facing justification; the self-check test for the shipped tree
+requires one on every pragma in ``src/repro`` so suppressions never go
+in silently.
+
+Grammar (whitespace-tolerant)::
+
+    # lint: ok(rule-id)
+    # lint: ok(rule-a, rule-b) -- justification text
+
+Rule ids are the dotted ids from the registry (``determinism.wallclock``,
+``guards.optional-hook``, ...).  Unknown ids are tolerated by the parser
+(the engine reports unused pragmas separately via
+:meth:`~repro.analysis.core.LintResult.unused_pragmas`).
+
+Only real ``COMMENT`` tokens count: pragma syntax quoted inside a string
+or docstring (like the grammar above) is not a pragma.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+_PRAGMA_RE = re.compile(
+    r"#\s*lint:\s*ok\(\s*(?P<rules>[A-Za-z0-9_.,\s-]+?)\s*\)"
+    r"(?:\s*--\s*(?P<why>.*\S))?\s*$"
+)
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+@dataclass(frozen=True)
+class Pragma:
+    """One parsed ``# lint: ok(...)`` comment."""
+
+    line: int                       # physical line the comment sits on (1-based)
+    rule_ids: tuple[str, ...]       # rule ids listed inside ok(...)
+    justification: str              # text after ``--`` (may be empty)
+    applies_to: int                 # line whose violations it suppresses
+
+    def matches(self, rule_id: str, line: int) -> bool:
+        """Whether this pragma suppresses ``rule_id`` reported at ``line``."""
+        return line == self.applies_to and rule_id in self.rule_ids
+
+
+def parse_pragmas(source: str) -> list[Pragma]:
+    """Extract every pragma in ``source`` with its target line resolved."""
+    lines = source.splitlines()
+    pragmas: list[Pragma] = []
+    for index, col, text in _comment_tokens(source):
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rule_ids = tuple(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        if not rule_ids:
+            continue
+        applies_to = index
+        if not lines[index - 1][:col].strip():
+            # Standalone comment: suppress the next non-comment, non-blank line.
+            applies_to = _next_code_line(lines, index)
+        pragmas.append(
+            Pragma(
+                line=index,
+                rule_ids=rule_ids,
+                justification=(match.group("why") or "").strip(),
+                applies_to=applies_to,
+            )
+        )
+    return pragmas
+
+
+def _comment_tokens(source: str) -> list[tuple[int, int, str]]:
+    """``(line, col, text)`` of every COMMENT token in ``source``."""
+    comments: list[tuple[int, int, str]] = []
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                comments.append((token.start[0], token.start[1], token.string))
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        pass  # unparseable tail; keep the comments seen so far
+    return comments
+
+
+def _next_code_line(lines: list[str], after: int) -> int:
+    """First line after ``after`` (1-based) that holds code; else ``after``."""
+    for index in range(after, len(lines)):
+        text = lines[index]
+        if text.strip() and not _COMMENT_ONLY_RE.match(text):
+            return index + 1
+    return after
+
+
+@dataclass
+class PragmaLedger:
+    """Tracks which pragmas actually suppressed something during a run."""
+
+    pragmas: list[Pragma]
+    used: set[int] = field(default_factory=set)
+
+    def suppresses(self, rule_id: str, line: int) -> bool:
+        """True (and mark the pragma used) if any pragma covers the hit."""
+        hit = False
+        for pragma in self.pragmas:
+            if pragma.matches(rule_id, line):
+                self.used.add(pragma.line)
+                hit = True
+        return hit
+
+    def unused(self) -> list[Pragma]:
+        """Pragmas that never fired — candidates for deletion."""
+        return [p for p in self.pragmas if p.line not in self.used]

@@ -1,0 +1,46 @@
+"""The repo-specific rule catalogue.
+
+``build_rules()`` returns fresh instances of every shipped rule —
+fresh because project-wide rules (counter hygiene) accumulate state in
+``collect`` and must not leak between engine runs.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.core import Rule
+from repro.analysis.rules.counters import CounterDocCoverageRule, CounterIntDriftRule
+from repro.analysis.rules.deprecation import DeprecatedInternalCallerRule
+from repro.analysis.rules.determinism import (
+    SetIterationRule,
+    UnseededRandomRule,
+    WallClockRule,
+)
+from repro.analysis.rules.guards import OptionalHookGuardRule
+from repro.analysis.rules.hygiene import UnusedImportRule
+
+
+def build_rules() -> list[Rule]:
+    """Fresh instances of the full shipped catalogue."""
+    return [
+        WallClockRule(),
+        UnseededRandomRule(),
+        SetIterationRule(),
+        OptionalHookGuardRule(),
+        CounterIntDriftRule(),
+        CounterDocCoverageRule(),
+        DeprecatedInternalCallerRule(),
+        UnusedImportRule(),
+    ]
+
+
+__all__ = [
+    "CounterDocCoverageRule",
+    "CounterIntDriftRule",
+    "DeprecatedInternalCallerRule",
+    "OptionalHookGuardRule",
+    "SetIterationRule",
+    "UnseededRandomRule",
+    "UnusedImportRule",
+    "WallClockRule",
+    "build_rules",
+]

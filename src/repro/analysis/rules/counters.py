@@ -1,0 +1,209 @@
+"""Counter-hygiene rules: stats counters stay integers and stay visible.
+
+The paper's comparisons are *event counts* (COPYBACKs, ERASEs, host
+I/Os); the accounting identities over them (write amplification,
+``faults.injected.total == recovered.total + retired.total``) only close
+exactly when the counters stay exact.  Two hazards, two rules:
+
+* ``counters.int-drift`` — an ``int``-annotated field of a ``*Stats``
+  class must never receive float arithmetic (float literals, true
+  division, ``float(...)``).  ``3 / 1`` is ``3.0`` and ``0.1 + 0.2`` is
+  not a count; a float that sneaks into ``gc_erases`` makes the closed
+  identities approximately-true, which is how benchmark conclusions
+  silently invert.
+* ``counters.doc-coverage`` — every mutated counter field of a
+  snapshot-bearing ``*Stats`` class must be *read* by that class's
+  ``snapshot()`` (or one of its properties, which snapshot derives
+  from).  The snapshot is what the obs registry mounts under the
+  pinned ``flash.* / mgmt.* / faults.*`` namespaces — a counter that's
+  incremented but never snapshotted is invisible work, exactly the
+  drift that hid a GC-accounting slip before PR 3 pinned it.
+
+Both rules are project-wide: phase 1 collects ``*Stats`` class shapes
+and every mutation site across all linted modules, phase 2 reports.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+from dataclasses import dataclass, field
+
+from repro.analysis.core import Rule, SourceModule, Violation
+
+
+@dataclass
+class _StatsClass:
+    """Shape of one ``*Stats`` class gathered in phase 1."""
+
+    name: str
+    module: SourceModule
+    node: ast.ClassDef
+    int_fields: set[str] = field(default_factory=set)
+    #: fields read inside snapshot() or any @property body
+    reported_fields: set[str] = field(default_factory=set)
+    has_snapshot: bool = False
+    #: (module, node) for every `<expr>.<field> += ...` seen anywhere
+    mutations: dict[str, list[tuple[SourceModule, ast.AST]]] = field(default_factory=dict)
+
+
+def _is_stats_class(node: ast.ClassDef) -> bool:
+    return node.name.endswith("Stats")
+
+
+def _int_fields(node: ast.ClassDef) -> set[str]:
+    fields: set[str] = set()
+    for stmt in node.body:
+        if (
+            isinstance(stmt, ast.AnnAssign)
+            and isinstance(stmt.target, ast.Name)
+            and isinstance(stmt.annotation, ast.Name)
+            and stmt.annotation.id == "int"
+        ):
+            fields.add(stmt.target.id)
+    return fields
+
+
+def _self_attribute_reads(body: list[ast.stmt]) -> set[str]:
+    reads: set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"
+            ):
+                reads.add(node.attr)
+    return reads
+
+
+class _StatsModelMixin(Rule):
+    """Shared phase-1 collection of stats-class shapes and mutation sites."""
+
+    def __init__(self) -> None:
+        self._classes: dict[str, _StatsClass] = {}
+        self._pending_mutations: list[tuple[SourceModule, ast.AST, str, ast.expr | None]] = []
+
+    def collect(self, module: SourceModule) -> None:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ClassDef) and _is_stats_class(node):
+                self._collect_class(module, node)
+            elif isinstance(node, ast.AugAssign) and isinstance(node.target, ast.Attribute):
+                self._pending_mutations.append(
+                    (module, node, node.target.attr, node.value)
+                )
+            elif (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Attribute)
+            ):
+                self._pending_mutations.append(
+                    (module, node, node.targets[0].attr, node.value)
+                )
+
+    def _collect_class(self, module: SourceModule, node: ast.ClassDef) -> None:
+        info = _StatsClass(name=node.name, module=module, node=node)
+        info.int_fields = _int_fields(node)
+        for stmt in node.body:
+            if not isinstance(stmt, ast.FunctionDef):
+                continue
+            is_property = any(
+                isinstance(dec, ast.Name) and dec.id == "property"
+                for dec in stmt.decorator_list
+            )
+            if stmt.name == "snapshot":
+                info.has_snapshot = True
+                info.reported_fields |= _self_attribute_reads(stmt.body)
+            elif is_property:
+                info.reported_fields |= _self_attribute_reads(stmt.body)
+        # Keep the first definition if a name collides across modules; the
+        # repo has one class per stats name and fixtures lint in isolation.
+        self._classes.setdefault(node.name, info)
+
+    def _field_owner(self, field_name: str) -> _StatsClass | None:
+        """The unique stats class owning ``field_name``, if unambiguous."""
+        owners = [c for c in self._classes.values() if field_name in c.int_fields]
+        if len(owners) == 1:
+            return owners[0]
+        return None
+
+    def _resolved_mutations(
+        self,
+    ) -> Iterator[tuple[SourceModule, ast.AST, _StatsClass, str, ast.expr | None]]:
+        for module, node, attr, value in self._pending_mutations:
+            owner = self._field_owner(attr)
+            if owner is not None:
+                yield module, node, owner, attr, value
+
+
+class CounterIntDriftRule(_StatsModelMixin):
+    id = "counters.int-drift"
+    summary = (
+        "int-annotated *Stats counters must never receive float arithmetic "
+        "(float literals, / division, float(...))"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        for mod, node, owner, attr, value in self._resolved_mutations():
+            if mod is not module or value is None:
+                continue
+            taint = self._float_taint(value)
+            if taint is not None:
+                yield self.violation(
+                    module, node,
+                    f"float arithmetic assigned to integer counter "
+                    f"`{owner.name}.{attr}` ({taint}); counts must stay "
+                    "exact integers — use // or int(...) at the boundary",
+                )
+
+    @staticmethod
+    def _float_taint(value: ast.expr) -> str | None:
+        """Describe the float-introducing subexpression, or None if clean."""
+        if isinstance(value, ast.Call):
+            func = value.func
+            if isinstance(func, ast.Name) and func.id == "int":
+                return None  # explicitly truncated back to int
+        for node in ast.walk(value):
+            if isinstance(node, ast.Constant) and isinstance(node.value, float):
+                return f"float literal {node.value!r}"
+            if isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div):
+                return "true division `/` always yields float"
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "float"
+            ):
+                return "float(...) conversion"
+        return None
+
+
+class CounterDocCoverageRule(_StatsModelMixin):
+    id = "counters.doc-coverage"
+    summary = (
+        "every mutated *Stats counter must surface in its class's "
+        "snapshot() (the obs registry namespace payload)"
+    )
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._reported: set[tuple[str, str]] = set()
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        for mod, _node, owner, attr, _value in self._resolved_mutations():
+            if mod is not module:
+                continue
+            if not owner.has_snapshot:
+                continue
+            if attr in owner.reported_fields:
+                continue
+            key = (owner.name, attr)
+            if key in self._reported:
+                continue  # one report per counter, at its first mutation site
+            self._reported.add(key)
+            yield self.violation(
+                module, _node,
+                f"counter `{owner.name}.{attr}` is mutated here but never "
+                f"read by {owner.name}.snapshot() or its properties — the "
+                "obs registry will never export it; add it to snapshot() "
+                f"(defined at {owner.module.display_path}:{owner.node.lineno})",
+            )

@@ -1,0 +1,70 @@
+"""Deprecation rule: no internal callers of paths kept only for users.
+
+``repro.ftl.stats`` (the old import path for :class:`ManagementStats`)
+and ``FlashTracer.summary()`` are deprecated shims kept for one release:
+they warn and forward.  Internal code must not call them — an internal
+caller would (a) spray ``DeprecationWarning`` into every run and (b) keep
+the shim load-bearing forever.  The canonical replacements are
+``repro.obs`` / ``repro.mapping.stats`` and ``FlashTracer.snapshot()``.
+
+``summary()`` is matched heuristically (no type inference): the call is
+flagged when the receiver's text mentions a tracer (``tracer.summary()``,
+``self.tracer.summary()``, ``device.trace.summary()``).  TPC-C's
+``metrics.summary()`` is a different, non-deprecated API and is not
+matched.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.core import Rule, SourceModule, Violation
+
+_DEPRECATED_MODULE = "repro.ftl.stats"
+#: receiver leaf names that identify a FlashTracer
+_TRACER_LEAVES = ("tracer", "trace")
+
+
+class DeprecatedInternalCallerRule(Rule):
+    id = "deprecation.internal-caller"
+    summary = (
+        "no internal imports of repro.ftl.stats and no FlashTracer.summary() "
+        "calls; use repro.obs / FlashTracer.snapshot()"
+    )
+
+    def applies(self, module: SourceModule) -> bool:
+        # The shim itself is the one allowed definition site.
+        return module.rel_path != "ftl/stats.py"
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name == _DEPRECATED_MODULE or alias.name.startswith(
+                        _DEPRECATED_MODULE + "."
+                    ):
+                        yield self._import_hit(module, node)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == _DEPRECATED_MODULE:
+                    yield self._import_hit(module, node)
+            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+                if node.func.attr != "summary":
+                    continue
+                receiver = dotted_name(node.func.value)
+                if receiver is not None and receiver.rsplit(".", 1)[-1] in _TRACER_LEAVES:
+                    yield self.violation(
+                        module, node,
+                        f"`{receiver}.summary()` is deprecated (warns at "
+                        "runtime); use `.snapshot()` — same numbers, "
+                        "Snapshottable-shaped",
+                    )
+
+    def _import_hit(self, module: SourceModule, node: ast.AST) -> Violation:
+        return self.violation(
+            module, node,
+            f"import of deprecated `{_DEPRECATED_MODULE}` (warns at import "
+            "time); import ManagementStats from repro.obs or "
+            "repro.mapping.stats",
+        )

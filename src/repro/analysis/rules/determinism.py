@@ -1,0 +1,222 @@
+"""Determinism rules: the simulation must be a pure function of its seeds.
+
+Scope: the simulation packages (``flash``, ``mapping``, ``ftl``, ``core``,
+``db``, ``faults``).  Wall-clock reads and ambient entropy are allowed in
+``bench/`` (host-side throughput measurement) and the CLI — those never
+feed simulated counters.
+
+Three rules:
+
+* ``determinism.wallclock`` — no ``time.time()``, ``datetime.now()``,
+  ``os.urandom()``, ``uuid4()`` etc. reachable from sim paths.  Virtual
+  time is the only clock (see the architecture docs' time model).
+* ``determinism.unseeded-random`` — no module-level ``random.*`` calls and
+  no ``random.Random()`` without a seed; every RNG must be a seeded
+  ``random.Random(seed)`` instance so runs replay bit-identically.
+* ``determinism.set-iteration`` — no direct iteration over set
+  displays/comprehensions/``set(...)`` calls: set order is hash-order,
+  which varies across processes once ``PYTHONHASHSEED`` varies.  Wrap in
+  ``sorted(...)`` to fix an order.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.core import Rule, SourceModule, Violation
+
+#: packages whose code feeds simulated counters — the determinism scope
+SIM_PACKAGES = ("flash/", "mapping/", "ftl/", "core/", "db/", "faults/")
+
+#: dotted call patterns that read the wall clock or ambient entropy
+_WALLCLOCK_SUFFIXES = (
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "time.process_time",
+    "time.localtime",
+    "datetime.now",
+    "datetime.utcnow",
+    "datetime.today",
+    "date.today",
+    "os.urandom",
+    "os.getrandom",
+    "uuid.uuid1",
+    "uuid.uuid4",
+    "secrets.token_bytes",
+    "secrets.token_hex",
+    "secrets.randbelow",
+)
+
+#: bare names that, when imported from those modules, are just as impure
+_WALLCLOCK_FROM_IMPORTS = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+             "perf_counter_ns", "process_time", "localtime"},
+    "datetime": {"datetime", "date"},  # datetime.now() via from-import
+    "os": {"urandom", "getrandom"},
+    "uuid": {"uuid1", "uuid4"},
+    "secrets": {"token_bytes", "token_hex", "randbelow"},
+}
+
+
+class _SimScopedRule(Rule):
+    """Base: applies only inside the simulation packages."""
+
+    def applies(self, module: SourceModule) -> bool:
+        return module.rel_path.startswith(SIM_PACKAGES)
+
+
+class WallClockRule(_SimScopedRule):
+    id = "determinism.wallclock"
+    summary = (
+        "no wall-clock or ambient-entropy reads in sim packages; "
+        "virtual time only (wall clock belongs in bench/ and the CLI)"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        flagged_names = self._from_import_bindings(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted is not None and self._matches(dotted):
+                yield self.violation(
+                    module, node,
+                    f"wall-clock/entropy call `{dotted}()` in a simulation "
+                    "package; derive time from the virtual clock instead",
+                )
+            elif isinstance(node.func, ast.Name) and node.func.id in flagged_names:
+                yield self.violation(
+                    module, node,
+                    f"wall-clock/entropy call `{node.func.id}()` "
+                    f"(imported from `{flagged_names[node.func.id]}`) in a "
+                    "simulation package",
+                )
+
+    @staticmethod
+    def _matches(dotted: str) -> bool:
+        return any(
+            dotted == suffix or dotted.endswith("." + suffix)
+            for suffix in _WALLCLOCK_SUFFIXES
+        )
+
+    @staticmethod
+    def _from_import_bindings(module: SourceModule) -> dict[str, str]:
+        bindings: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module in _WALLCLOCK_FROM_IMPORTS:
+                impure = _WALLCLOCK_FROM_IMPORTS[node.module]
+                for alias in node.names:
+                    if alias.name in impure:
+                        bindings[alias.asname or alias.name] = node.module
+        return bindings
+
+
+class UnseededRandomRule(_SimScopedRule):
+    id = "determinism.unseeded-random"
+    summary = (
+        "no module-level random.* calls or seedless random.Random(); "
+        "every RNG must be an explicitly seeded random.Random(seed)"
+    )
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        from_imports = self._random_from_imports(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            dotted = dotted_name(node.func)
+            if dotted == "random.Random" or dotted == "Random" and "Random" in from_imports:
+                if not node.args and not node.keywords:
+                    yield self.violation(
+                        module, node,
+                        "random.Random() without a seed falls back to OS "
+                        "entropy; pass an explicit seed",
+                    )
+            elif dotted == "random.SystemRandom" or (
+                isinstance(node.func, ast.Name) and node.func.id in from_imports
+                and from_imports[node.func.id] == "SystemRandom"
+            ):
+                yield self.violation(
+                    module, node,
+                    "random.SystemRandom is OS entropy by construction; use a "
+                    "seeded random.Random",
+                )
+            elif dotted is not None and dotted.startswith("random."):
+                yield self.violation(
+                    module, node,
+                    f"module-level `{dotted}()` uses the shared global RNG; "
+                    "call methods on a seeded random.Random instance",
+                )
+            elif isinstance(node.func, ast.Name) and node.func.id in from_imports:
+                original = from_imports[node.func.id]
+                if original not in ("Random",):
+                    yield self.violation(
+                        module, node,
+                        f"`{node.func.id}()` (from random import {original}) "
+                        "uses the shared global RNG; use a seeded "
+                        "random.Random instance",
+                    )
+
+    @staticmethod
+    def _random_from_imports(module: SourceModule) -> dict[str, str]:
+        bindings: dict[str, str] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    bindings[alias.asname or alias.name] = alias.name
+        return bindings
+
+
+class SetIterationRule(_SimScopedRule):
+    id = "determinism.set-iteration"
+    summary = (
+        "no direct iteration over set expressions (hash order); "
+        "wrap in sorted(...) to pin an order"
+    )
+
+    _CONSUMERS = ("list", "tuple", "enumerate", "iter", "next")
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_expr(node.iter):
+                    yield self._hit(module, node.iter, "for-loop")
+            elif isinstance(node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)):
+                for comp in node.generators:
+                    if self._is_set_expr(comp.iter):
+                        yield self._hit(module, comp.iter, "comprehension")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Name)
+                    and func.id in self._CONSUMERS
+                    and node.args
+                    and self._is_set_expr(node.args[0])
+                ):
+                    yield self._hit(module, node.args[0], f"{func.id}(...)")
+
+    def _hit(self, module: SourceModule, node: ast.AST, where: str) -> Violation:
+        return self.violation(
+            module, node,
+            f"set iterated in {where}: set order is hash order and varies "
+            "between runs; wrap the set in sorted(...)",
+        )
+
+    @staticmethod
+    def _is_set_expr(node: ast.expr) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return node.func.id in ("set", "frozenset")
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitAnd, ast.BitOr, ast.Sub)):
+            # `live & moved`, `a | b` on sets can't be proven statically —
+            # only flag when one side is a syntactic set expression.
+            return SetIterationRule._is_set_expr(node.left) or SetIterationRule._is_set_expr(
+                node.right
+            )
+        return False

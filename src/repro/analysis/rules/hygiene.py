@@ -1,0 +1,91 @@
+"""Hygiene rule: unused imports (a pyflakes-F401 subset, in-tree).
+
+CI runs ``ruff check`` for the full pycodestyle/pyflakes/isort surface;
+this rule keeps the highest-signal subset — dead imports — enforceable
+with zero external dependencies, so `repro lint` alone stays a complete
+gate in hermetic environments (this container has no ruff).
+
+Skipped entirely for ``__init__.py`` files: there, imports *are* the API
+(re-exports), and ``__all__`` is the authority ruff also respects.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from collections.abc import Iterator
+
+from repro.analysis.core import Rule, SourceModule, Violation
+
+
+class UnusedImportRule(Rule):
+    id = "hygiene.unused-import"
+    summary = "imported names must be used (re-exports in __init__.py exempt)"
+
+    def applies(self, module: SourceModule) -> bool:
+        return not module.rel_path.endswith("__init__.py")
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        imported: dict[str, tuple[ast.AST, str]] = {}
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    binding = alias.asname or alias.name.split(".", 1)[0]
+                    imported[binding] = (node, alias.name)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "__future__":
+                    continue  # compiler directive, not a binding anyone reads
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    # `from x import y as y` is the explicit re-export idiom.
+                    if alias.asname is not None and alias.asname == alias.name:
+                        continue
+                    binding = alias.asname or alias.name
+                    imported[binding] = (node, alias.name)
+
+        used = self._used_names(module.tree)
+        for binding, (node, original) in imported.items():
+            if binding in used:
+                continue
+            shown = binding if binding == original else f"{original} as {binding}"
+            yield self.violation(
+                module, node, f"`{shown}` imported but unused"
+            )
+
+    @staticmethod
+    def _used_names(tree: ast.Module) -> set[str]:
+        used: set[str] = set()
+
+        def add_string_annotation(annotation: ast.expr | None) -> None:
+            # Quoted annotations ("FaultPlan | None") reference names that
+            # only a type checker resolves; count their identifiers as used.
+            if isinstance(annotation, ast.Constant) and isinstance(annotation.value, str):
+                used.update(re.findall(r"[A-Za-z_][A-Za-z0-9_]*", annotation.value))
+
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Name) and isinstance(node.ctx, (ast.Load, ast.Del)):
+                used.add(node.id)
+            elif isinstance(node, ast.AnnAssign):
+                add_string_annotation(node.annotation)
+            elif isinstance(node, ast.arg):
+                add_string_annotation(node.annotation)
+            elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                add_string_annotation(node.returns)
+            elif isinstance(node, ast.Attribute):
+                # `repro.flash.stats.X` after `import repro.flash.stats`
+                root = node
+                while isinstance(root, ast.Attribute):
+                    root = root.value
+                if isinstance(root, ast.Name):
+                    used.add(root.id)
+            elif isinstance(node, ast.Assign):
+                # names listed in __all__ count as exports
+                targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+                if "__all__" in targets:
+                    for element in ast.walk(node.value):
+                        if isinstance(element, ast.Constant) and isinstance(
+                            element.value, str
+                        ):
+                            used.add(element.value)
+        return used

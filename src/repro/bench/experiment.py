@@ -22,6 +22,7 @@ from repro.tpcc.loader import load_database
 from repro.tpcc.schema import ScaleConfig, bench_scale
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.mapping.stats import ManagementStats
     from repro.faults.plan import FaultPlan
 
 
@@ -133,7 +134,7 @@ def _storage_counters(db: Database) -> dict[str, float]:
     return _management_counters(db.ftl.stats)
 
 
-def _management_counters(stats) -> dict[str, float]:
+def _management_counters(stats: ManagementStats) -> dict[str, float]:
     return {
         "host_reads": stats.host_reads,
         "host_writes": stats.host_writes,

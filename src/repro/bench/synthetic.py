@@ -187,7 +187,7 @@ def _die_shares(
     return raw
 
 
-def _attach_fault_plan(device, config: SyntheticConfig) -> None:
+def _attach_fault_plan(device: FlashDevice, config: SyntheticConfig) -> None:
     """Arm the injector for the measured phase, if the config carries a plan."""
     if config.fault_plan is not None:
         from repro.faults.injector import FaultInjector

@@ -9,6 +9,7 @@ Commands:
 * ``ftl`` — the FTL-vs-NoFTL motivation experiment.
 * ``recover`` — demonstrate crash recovery from page metadata.
 * ``report`` — render / validate a saved ``repro.obs/v1`` metrics file.
+* ``lint`` — run the static invariant linter (:mod:`repro.analysis`).
 
 Every command prints a paper-style table and exits 0 on success.  Every
 command also accepts ``--json``, which swaps the table for a validated
@@ -26,6 +27,10 @@ from __future__ import annotations
 import argparse
 import sys
 from dataclasses import replace
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.faults.plan import FaultPlan
 
 
 def _emit(args: argparse.Namespace, doc: dict, text: str) -> int:
@@ -51,7 +56,7 @@ def _progress(args: argparse.Namespace, message: str) -> None:
     print(message, file=sys.stderr if args.json else sys.stdout, flush=True)
 
 
-def _load_fault_plan(args: argparse.Namespace):
+def _load_fault_plan(args: argparse.Namespace) -> "FaultPlan | None":
     """``--fault-plan FILE.json`` → :class:`~repro.faults.plan.FaultPlan`."""
     path = getattr(args, "fault_plan", None)
     if not path:
@@ -265,6 +270,27 @@ def _cmd_recover(args: argparse.Namespace) -> int:
     return _emit(args, doc, text)
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis import default_registry, lint_paths, render_human, render_json
+
+    if args.list_rules:
+        registry = default_registry()
+        for rule_id in registry.ids():
+            print(f"{rule_id:32} {registry.get(rule_id).summary}")
+        return 0
+    rule_ids = args.rules.split(",") if args.rules else None
+    try:
+        result = lint_paths(args.paths, rule_ids)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_human(result, verbose=args.verbose))
+    return result.exit_code
+
+
 def _cmd_report(args: argparse.Namespace) -> int:
     import json
 
@@ -375,6 +401,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     recover.add_argument("--writes", type=int, default=5_000)
     recover.set_defaults(fn=_cmd_recover)
+
+    lint = sub.add_parser(
+        "lint", help="run the repo's static invariant linter (repro.analysis)"
+    )
+    lint.add_argument(
+        "paths", nargs="*", default=["src/repro"],
+        help="files or directories to lint (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format", choices=("human", "json"), default="human",
+        help="report format: clickable text or the repro.lint/v1 document",
+    )
+    lint.add_argument(
+        "--rules", default=None, metavar="ID[,ID...]",
+        help="comma-separated rule ids to run (default: all)",
+    )
+    lint.add_argument(
+        "--list-rules", action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true",
+        help="also report pragmas that suppressed nothing",
+    )
+    lint.set_defaults(fn=_cmd_lint)
 
     report = sub.add_parser(
         "report", parents=[common], help="render or validate a saved metrics document"

@@ -18,7 +18,7 @@ annotated per region below and record the reconstruction in EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.core.region import RegionConfig, RegionError
 

@@ -14,7 +14,7 @@ host-side, region-locally, with full DBMS knowledge of the stored objects.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.flash.device import FlashDevice
 from repro.flash.errors import DieFailedError

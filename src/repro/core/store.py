@@ -11,12 +11,17 @@ flash commands.
 
 from __future__ import annotations
 
-from repro.core.region import Region, RegionConfig, RegionError
+from typing import TYPE_CHECKING
+
+from repro.core.region import Region, RegionConfig
 from repro.core.region_manager import RegionManager
 from repro.flash.device import FlashDevice
 from repro.flash.geometry import FlashGeometry
 from repro.flash.simclock import SimClock
 from repro.flash.timing import TimingModel
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.obs.registry import MetricRegistry
 
 
 class NoFTLStore:
@@ -160,7 +165,7 @@ class NoFTLStore:
         """Management counters per region."""
         return {r.name: r.stats.snapshot() for r in self.regions()}
 
-    def metrics_registry(self):
+    def metrics_registry(self) -> MetricRegistry:
         """A :class:`~repro.obs.registry.MetricRegistry` over this stack
         (``flash.*``, ``mgmt.*``, ``region.<name>.*``)."""
         from repro.obs.collect import registry_for_store

@@ -22,7 +22,7 @@ import struct
 
 from repro.db.buffer import BufferPool
 from repro.db.heap import RID
-from repro.db.records import Column, ColumnType, Schema, SchemaError
+from repro.db.records import ColumnType, Schema, SchemaError
 
 
 class IndexError_(Exception):

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from repro.core.advisor import ObjectStats
 from repro.core.ddl import parse_create_region, parse_drop_region
-from repro.core.placement import DBMS_METADATA, PlacementConfig, traditional_placement
+from repro.core.placement import DBMS_METADATA, PlacementConfig
 from repro.core.region import RegionError
 from repro.core.store import NoFTLStore
 from repro.db.backend import (
@@ -44,7 +44,11 @@ from repro.db.table import Table
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.dml import DMLResult
+    from repro.db.partition import PartitionedTable, PartitionScheme
     from repro.db.wal import WriteAheadLog
+    from repro.obs.events import EventBus
+    from repro.obs.registry import MetricRegistry
 from repro.flash.device import FlashDevice
 from repro.flash.geometry import FlashGeometry, paper_geometry
 from repro.flash.timing import TimingModel
@@ -87,7 +91,7 @@ class Database:
         self.store: NoFTLStore | None = None  # set on native flash
         self.ftl: PageMappingFTL | None = None  # set on block device
         self._tables: dict[str, Table] = {}
-        self._partitioned: dict[str, object] = {}
+        self._partitioned: dict[str, PartitionedTable] = {}
         self.wal: WriteAheadLog | None = None
         self._wal_requested = wal
 
@@ -104,7 +108,7 @@ class Database:
         system_dies: int | None = None,
         initial_bad_block_rate: float = 0.0,
         device_seed: int = 0,
-        **db_kwargs,
+        **db_kwargs: object,
     ) -> "Database":
         """Build a NoFTL database: regions created per ``placement``.
 
@@ -171,7 +175,7 @@ class Database:
         cmt_entries: int = 4096,
         initial_bad_block_rate: float = 0.0,
         device_seed: int = 0,
-        **db_kwargs,
+        **db_kwargs: object,
     ) -> "Database":
         """Build the same database on an FTL SSD (``ftl``: "page" or "dftl")."""
         geometry = geometry if geometry is not None else paper_geometry()
@@ -253,7 +257,7 @@ class Database:
     # ------------------------------------------------------------------
     # Observability
     # ------------------------------------------------------------------
-    def metrics_registry(self):
+    def metrics_registry(self) -> MetricRegistry:
         """A :class:`~repro.obs.registry.MetricRegistry` over the whole stack.
 
         Mounts ``flash.*``, ``mgmt.*``, ``region.<name>.*`` (on native
@@ -264,7 +268,7 @@ class Database:
 
         return registry_for_database(self)
 
-    def attach_event_bus(self, capacity: int = 100_000):
+    def attach_event_bus(self, capacity: int = 100_000) -> EventBus:
         """Attach (or return) the device's shared cross-layer event bus."""
         return self.device.attach_event_bus(capacity=capacity)
 
@@ -327,7 +331,7 @@ class Database:
             return at
         raise DDLError(f"unhandled statement kind {kind!r}")
 
-    def query(self, sql: str, at: float = 0.0):
+    def query(self, sql: str, at: float = 0.0) -> DMLResult:
         """Run one DML statement and return its :class:`~repro.db.dml.DMLResult`.
 
         ``result.rows`` carries SELECT output; ``result.affected`` counts
@@ -422,7 +426,6 @@ class Database:
             btree=btree,
         )
         self.catalog.add_index(index)
-        table = self.table(table_name)
         positions = [table_info.schema.position(c) for c in columns]
         for rid, row, at in table_info.heap.scan(at):
             at = btree.insert(tuple(row[i] for i in positions), rid, at)
@@ -432,10 +435,10 @@ class Database:
         self,
         name: str,
         schema: Schema,
-        scheme,
+        scheme: PartitionScheme,
         regions: list[str | None] | None = None,
         index_defs: list[tuple[str, list[str], bool]] | None = None,
-    ):
+    ) -> PartitionedTable:
         """Create a partitioned table — placement below the object level.
 
         The paper (Section 2) allows regions to hold "complete objects or
@@ -468,7 +471,7 @@ class Database:
                 ts_name,
                 region=region or self._placement_region_for(name),
             )
-            part = self.create_table(part_name, schema, tablespace=ts_name)
+            self.create_table(part_name, schema, tablespace=ts_name)
             for suffix, columns, unique in index_defs or []:
                 self.create_index(
                     f"{part_name}_{suffix}", part_name, columns, unique=unique,
@@ -479,7 +482,7 @@ class Database:
         self._partitioned[name] = table
         return table
 
-    def partitioned_table(self, name: str):
+    def partitioned_table(self, name: str) -> PartitionedTable:
         """Handle for a partitioned table created earlier."""
         try:
             return self._partitioned[name]

@@ -20,7 +20,12 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 
+from typing import TYPE_CHECKING
+
 from repro.db.query import Between, Condition, Eq, select
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
 
 _INSERT_RE = re.compile(
     r"^\s*INSERT\s+INTO\s+(?P<table>\w+)\s*(?:\((?P<cols>[\w\s,]+)\))?\s*"
@@ -51,7 +56,7 @@ class DMLError(Exception):
     """Unparseable DML statement."""
 
 
-def parse_literal(text: str):
+def parse_literal(text: str) -> int | float | str:
     """Parse one SQL literal: int, float, or single-quoted string."""
     text = text.strip()
     if text.startswith("'") and text.endswith("'") and len(text) >= 2:
@@ -148,7 +153,7 @@ class DMLResult:
     end_us: float
 
 
-def execute_dml(db, sql: str, at: float = 0.0) -> DMLResult:
+def execute_dml(db: Database, sql: str, at: float = 0.0) -> DMLResult:
     """Parse and run one DML statement against ``db``."""
     upper = sql.lstrip().upper()
     if upper.startswith("INSERT"):
@@ -167,7 +172,7 @@ def is_dml(sql: str) -> bool:
     return sql.lstrip().upper().startswith(("INSERT", "SELECT", "UPDATE", "DELETE"))
 
 
-def _run_insert(db, sql: str, at: float) -> DMLResult:
+def _run_insert(db: Database, sql: str, at: float) -> DMLResult:
     match = _INSERT_RE.match(sql)
     if not match:
         raise DMLError(f"cannot parse INSERT: {sql!r}")
@@ -185,7 +190,7 @@ def _run_insert(db, sql: str, at: float) -> DMLResult:
     return DMLResult("insert", [], 1, at)
 
 
-def _run_select(db, sql: str, at: float) -> DMLResult:
+def _run_select(db: Database, sql: str, at: float) -> DMLResult:
     match = _SELECT_RE.match(sql)
     if not match:
         raise DMLError(f"cannot parse SELECT: {sql!r}")
@@ -199,7 +204,7 @@ def _run_select(db, sql: str, at: float) -> DMLResult:
     return DMLResult("select", rows, len(rows), at)
 
 
-def _run_update(db, sql: str, at: float) -> DMLResult:
+def _run_update(db: Database, sql: str, at: float) -> DMLResult:
     match = _UPDATE_RE.match(sql)
     if not match:
         raise DMLError(f"cannot parse UPDATE: {sql!r}")
@@ -225,7 +230,7 @@ def _run_update(db, sql: str, at: float) -> DMLResult:
     return DMLResult("update", [], affected, at)
 
 
-def _run_delete(db, sql: str, at: float) -> DMLResult:
+def _run_delete(db: Database, sql: str, at: float) -> DMLResult:
     match = _DELETE_RE.match(sql)
     if not match:
         raise DMLError(f"cannot parse DELETE: {sql!r}")

@@ -10,6 +10,7 @@ indexes must then be fixed by the table layer).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from collections.abc import Iterator
 
 from repro.db.buffer import BufferPool
 from repro.db.records import RowCodec, Schema
@@ -174,7 +175,7 @@ class HeapFile:
         self._row_count -= 1
         return at
 
-    def scan(self, at: float):
+    def scan(self, at: float) -> Iterator[tuple[RID, tuple, float]]:
         """Iterate ``(rid, row, completion_us)`` over all live rows.
 
         The generator threads the clock: each yielded ``completion_us``

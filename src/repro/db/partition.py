@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from collections.abc import Iterator
 
 from repro.db.heap import RID
 from repro.db.records import Schema
-from repro.db.table import Table, TableError
+from repro.db.table import Table
 
 
 class PartitionError(Exception):
@@ -53,7 +54,7 @@ class PartitionScheme(abc.ABC):
         self.partitions = partitions
 
     @abc.abstractmethod
-    def route_value(self, value) -> int:
+    def route_value(self, value: object) -> int:
         """Partition index for one value of the partition column."""
 
     def route_row(self, schema: Schema, row: tuple) -> int:
@@ -77,7 +78,7 @@ class RangePartition(PartitionScheme):
         super().__init__(column, len(bounds) + 1)
         self.bounds = list(bounds)
 
-    def route_value(self, value) -> int:
+    def route_value(self, value: object) -> int:
         import bisect
 
         return bisect.bisect_right(self.bounds, value)
@@ -89,7 +90,7 @@ class HashPartition(PartitionScheme):
     def __init__(self, column: str, partitions: int) -> None:
         super().__init__(column, partitions)
 
-    def route_value(self, value) -> int:
+    def route_value(self, value: object) -> int:
         if isinstance(value, int):
             return value % self.partitions
         # deterministic string hash (Python's hash() is salted per process)
@@ -221,7 +222,7 @@ class PartitionedTable:
             results.extend((PartitionedRID(index, rid), row) for rid, row in rows)
         return results, at
 
-    def scan(self, at: float):
+    def scan(self, at: float) -> Iterator[tuple[PartitionedRID, tuple, float]]:
         """Scan all partitions; yields ``(prid, row, completion_us)``."""
         for index, part in enumerate(self.parts):
             for rid, row, at in part.scan(at):

@@ -64,13 +64,13 @@ Condition = Eq | Between
 _INT_MIN, _INT_MAX = -(2**62), 2**62
 
 
-def _column_min(column: Column):
+def _column_min(column: Column) -> int | str:
     if column.type is ColumnType.INT:
         return _INT_MIN
     return ""
 
 
-def _column_max(column: Column):
+def _column_max(column: Column) -> int | str:
     if column.type is ColumnType.INT:
         return _INT_MAX
     return "\x7f" * column.length

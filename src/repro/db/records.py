@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 import struct
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 
@@ -103,7 +104,7 @@ class Schema:
     def __len__(self) -> int:
         return len(self.columns)
 
-    def __iter__(self):
+    def __iter__(self) -> Iterator[Column]:
         return iter(self.columns)
 
     def position(self, name: str) -> int:
@@ -166,7 +167,7 @@ class RowCodec:
             raise SchemaError(f"trailing {len(data) - offset} bytes after decoding row")
         return tuple(values)
 
-    def _encode_value(self, column: Column, value) -> bytes:
+    def _encode_value(self, column: Column, value: object) -> bytes:
         if column.type is ColumnType.INT:
             if not isinstance(value, int):
                 raise SchemaError(f"column {column.name!r} expects int, got {type(value).__name__}")
@@ -187,7 +188,9 @@ class RowCodec:
             return raw.ljust(column.length, b" ")
         return struct.pack("<H", len(raw)) + raw
 
-    def _decode_value(self, column: Column, data: bytes, offset: int):
+    def _decode_value(
+        self, column: Column, data: bytes, offset: int
+    ) -> tuple[int | float | str, int]:
         if column.type is ColumnType.INT:
             (value,) = struct.unpack_from("<q", data, offset)
             return value, offset + 8

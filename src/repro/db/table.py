@@ -8,8 +8,15 @@ them when the record had to move to a new RID).
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+from typing import TYPE_CHECKING
+
 from repro.db.catalog import IndexInfo, TableInfo
 from repro.db.heap import RID
+from repro.db.records import Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.wal import WriteAheadLog
 
 
 class TableError(Exception):
@@ -23,7 +30,7 @@ class Table:
     returning (see :mod:`repro.db.wal`).
     """
 
-    def __init__(self, info: TableInfo, wal=None) -> None:
+    def __init__(self, info: TableInfo, wal: "WriteAheadLog | None" = None) -> None:
         self.info = info
         self.wal = wal
         self._key_positions: dict[str, list[int]] = {
@@ -50,7 +57,7 @@ class Table:
         return self.info.name
 
     @property
-    def schema(self):
+    def schema(self) -> Schema:
         """Row schema."""
         return self.info.schema
 
@@ -154,6 +161,6 @@ class Table:
             results.append((rid, row))
         return results, at
 
-    def scan(self, at: float):
+    def scan(self, at: float) -> Iterator[tuple[RID, tuple, float]]:
         """Full-table scan; yields ``(rid, row, completion_us)``."""
         return self.info.heap.scan(at)

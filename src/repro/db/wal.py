@@ -26,10 +26,16 @@ from __future__ import annotations
 
 import enum
 import struct
+from collections.abc import Iterator
 from dataclasses import dataclass
 
 from repro.db.backend import StorageBackend
 from repro.db.heap import RID
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.db.database import Database
 
 _PAGE_HEADER = struct.Struct("<H")
 _RECORD_HEADER = struct.Struct("<QBH")
@@ -221,7 +227,7 @@ class WriteAheadLog:
     # ------------------------------------------------------------------
     # Reading
     # ------------------------------------------------------------------
-    def records(self, at: float = 0.0):
+    def records(self, at: float = 0.0) -> Iterator[tuple[LogRecord, float]]:
         """Yield ``(record, completion_us)`` over all persisted records.
 
         Unflushed buffered records are NOT returned — after a crash they
@@ -237,7 +243,7 @@ class WriteAheadLog:
                 yield record, at
 
 
-def _apply_record(db, record: LogRecord, at: float) -> float:
+def _apply_record(db: Database, record: LogRecord, at: float) -> float:
     table = db.table(record.table)
     if record.type is LogRecordType.INSERT:
         row = table.info.heap.codec.decode(record.row_bytes)
@@ -251,7 +257,7 @@ def _apply_record(db, record: LogRecord, at: float) -> float:
 
 
 def replay_log(
-    db, wal: WriteAheadLog, at: float = 0.0, transactional: bool = False
+    db: Database, wal: WriteAheadLog, at: float = 0.0, transactional: bool = False
 ) -> tuple[int, float]:
     """Apply the persisted redo records to ``db`` (restored-backup replay).
 

@@ -28,6 +28,13 @@ from repro.tpcc.driver import Driver
 from repro.tpcc.loader import load_database
 from repro.tpcc.schema import ScaleConfig
 
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.core.placement import PlacementConfig
+    from repro.flash.geometry import FlashGeometry
+    from repro.flash.timing import TimingModel
+
 
 @dataclass
 class CrashHarnessResult:
@@ -56,7 +63,7 @@ class CrashHarnessResult:
     target: Database | None = None
 
 
-def _default_geometry():
+def _default_geometry() -> "FlashGeometry":
     from repro.flash.geometry import FlashGeometry
 
     return FlashGeometry(
@@ -75,13 +82,13 @@ def _default_geometry():
 def run_tpcc_crash_harness(
     plan: FaultPlan,
     *,
-    geometry=None,
-    placement=None,
+    geometry: "FlashGeometry | None" = None,
+    placement: "PlacementConfig | None" = None,
     scale: ScaleConfig | None = None,
     num_transactions: int = 300,
     terminals: int = 4,
     seed: int = 21,
-    timing=None,
+    timing: "TimingModel | None" = None,
     buffer_pages: int = 256,
 ) -> CrashHarnessResult:
     """Run TPC-C under ``plan``; crash, recover, replay, and verify.

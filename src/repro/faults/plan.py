@@ -26,7 +26,7 @@ command), ``every`` (each Nth matching command) or ``probability``
 from __future__ import annotations
 
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 #: Recognised fault kinds.
 FAULT_KINDS = ("read_transient", "program_fail", "wearout", "die_fail", "power_cut")

@@ -24,8 +24,6 @@ from repro.flash.address import PhysicalBlockAddress, PhysicalPageAddress
 from repro.flash.block import Block, PageMetadata
 from repro.flash.die import Die
 from repro.flash.errors import (
-    AddressError,
-    BadBlockError,
     CopybackError,
     DataError,
 )

@@ -14,7 +14,7 @@ pool of dies, exactly how NoFTL regions allocate them.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.flash.errors import AddressError
 

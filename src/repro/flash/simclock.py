@@ -15,7 +15,7 @@ staying simple and fast.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 
 class SimClock:

@@ -21,9 +21,10 @@ from __future__ import annotations
 
 import warnings
 from collections import Counter, deque
+from collections.abc import Callable
 from dataclasses import dataclass
 
-from repro.flash.device import FlashDevice
+from repro.flash.device import CommandResult, FlashDevice
 
 
 @dataclass(frozen=True)
@@ -102,8 +103,8 @@ class FlashTracer:
         self._originals.clear()
         self._attached = False
 
-    def _wrap(self, name: str, original):
-        def traced(address, *args, **kwargs):
+    def _wrap(self, name: str, original: Callable[..., CommandResult]) -> Callable[..., CommandResult]:
+        def traced(address: object, *args: object, **kwargs: object) -> CommandResult:
             issue = kwargs.get("at")
             if issue is None:
                 issue = self.device.clock.now

@@ -24,11 +24,16 @@ than the exported LBA space so a subclass can store its own metadata
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.flash.device import FlashDevice
 from repro.ftl.blockdevice import BlockDevice, DeviceFullError
 from repro.mapping.blockinfo import DieBookkeeping
 from repro.mapping.engine import FlashSpaceEngine, SpaceFullError
 from repro.mapping.stats import ManagementStats
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.obs.registry import MetricRegistry
 
 
 class PageMappingFTL(BlockDevice):
@@ -187,7 +192,7 @@ class PageMappingFTL(BlockDevice):
         """Management counters (``Snapshottable``); mounted under ``mgmt``."""
         return self.stats.snapshot()
 
-    def metrics_registry(self):
+    def metrics_registry(self) -> "MetricRegistry":
         """A :class:`~repro.obs.registry.MetricRegistry` over this SSD
         (``flash.*`` device counters plus ``mgmt.*`` FTL counters)."""
         from repro.obs.collect import registry_for_blockdevice

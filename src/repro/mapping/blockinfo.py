@@ -40,6 +40,10 @@ from __future__ import annotations
 import enum
 from collections.abc import Iterator
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.flash.die import Die
 
 
 class BlockState(enum.Enum):
@@ -261,7 +265,7 @@ class DieBookkeeping:
         self._free.pop(block, None)
         self._drop_candidate(block)
 
-    def adopt_factory_bad_blocks(self, device_die) -> None:
+    def adopt_factory_bad_blocks(self, device_die: "Die") -> None:
         """Mirror a device die's factory bad-block marks into the books.
 
         Every management layer does this once at attach time; ``device_die``

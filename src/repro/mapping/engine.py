@@ -22,17 +22,19 @@ change over time"), relocating live data off a die before releasing it.
 
 from __future__ import annotations
 
+from collections.abc import Iterator
+
 from repro.flash.address import PhysicalBlockAddress, PhysicalPageAddress
 from repro.flash.block import PageMetadata
-from repro.flash.device import FlashDevice
+from repro.flash.device import CommandResult, FlashDevice
 from repro.flash.errors import (
     CopybackError,
     DieFailedError,
     ProgramFaultError,
     TransientReadError,
 )
-from repro.mapping.stats import ManagementStats
 from repro.mapping.blockinfo import BlockInfo, BlockState, DieBookkeeping
+from repro.mapping.stats import ManagementStats
 from repro.mapping.policies import choose_victim_from_books
 
 
@@ -164,7 +166,7 @@ class FlashSpaceEngine:
         """All mapped logical keys (sorted, for deterministic iteration)."""
         return sorted(self._map)
 
-    def iter_keys(self):
+    def iter_keys(self) -> Iterator[int]:
         """Mapped logical keys in arbitrary order (no sort — O(n) consumers
         like counting and set-building should not pay O(n log n))."""
         return iter(self._map)
@@ -186,7 +188,9 @@ class FlashSpaceEngine:
             self._maybe_refresh(ppa, result.end_us)
         return result.data, result.end_us
 
-    def _retry_read(self, ppa: PhysicalPageAddress, at: float, scrub: bool):
+    def _retry_read(
+        self, ppa: PhysicalPageAddress, at: float, scrub: bool
+    ) -> CommandResult:
         """Bounded retry of a transient read failure; scrub on success.
 
         Real controllers re-read with stepped reference voltages; here each
@@ -566,7 +570,9 @@ class FlashSpaceEngine:
         assert last is not None
         raise last
 
-    def _read_for_relocation(self, src: PhysicalPageAddress, at: float):
+    def _read_for_relocation(
+        self, src: PhysicalPageAddress, at: float
+    ) -> CommandResult:
         """Read a page for relocation, absorbing transient read failures.
 
         No scrub on success: relocation callers are already emptying (or

@@ -88,6 +88,7 @@ class ManagementStats:
             "host_writes": self.host_writes,
             "gc_copybacks": self.gc_copybacks,
             "gc_reads": self.gc_reads,
+            "gc_programs": self.gc_programs,
             "gc_erases": self.gc_erases,
             "gc_victim_valid_pages": self.gc_victim_valid_pages,
             "wl_moves": self.wl_moves,

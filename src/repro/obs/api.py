@@ -62,10 +62,10 @@ def prefixed(prefix: str, values: dict[str, float]) -> dict[str, float]:
 
 #: A metrics source: either a ``Snapshottable`` or a zero-arg callable
 #: returning the same flat dict shape.
-SourceLike = "Snapshottable | Callable[[], dict[str, float]]"
+SourceLike = Snapshottable | Callable[[], dict[str, float]]
 
 
-def read_source(source) -> dict[str, float]:
+def read_source(source: SourceLike) -> dict[str, float]:
     """Pull one snapshot out of a source (object or callable)."""
     if callable(source) and not hasattr(source, "snapshot"):
         return source()

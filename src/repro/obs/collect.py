@@ -22,11 +22,22 @@ building a registry never copies or perturbs the underlying counters.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.mapping.stats import ManagementStats
 from repro.obs.registry import MetricRegistry
 
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from collections.abc import Iterable
 
-def combined_management_stats(regions) -> ManagementStats:
+    from repro.core.region import Region
+    from repro.core.store import NoFTLStore
+    from repro.db.database import Database
+    from repro.flash.device import FlashDevice
+    from repro.ftl.page_mapping import PageMappingFTL
+
+
+def combined_management_stats(regions: Iterable[Region]) -> ManagementStats:
     """Sum per-region :class:`ManagementStats` into one (latencies merged)."""
     total = ManagementStats()
     for region in regions:
@@ -47,7 +58,7 @@ def combined_management_stats(regions) -> ManagementStats:
     return total
 
 
-def _mount_device(registry: MetricRegistry, device) -> None:
+def _mount_device(registry: MetricRegistry, device: FlashDevice) -> None:
     registry.register_source("flash", device.stats)
     registry.gauge("flash.wear.total_erase_count", device.total_erase_count)
     registry.gauge("flash.wear.max_erase_count", device.max_erase_count)
@@ -59,7 +70,7 @@ def _mount_device(registry: MetricRegistry, device) -> None:
         registry.register_source("faults", injector.stats)
 
 
-def registry_for_store(store) -> MetricRegistry:
+def registry_for_store(store: NoFTLStore) -> MetricRegistry:
     """Registry over a :class:`~repro.core.store.NoFTLStore` stack."""
     registry = MetricRegistry()
     _mount_device(registry, store.device)
@@ -71,7 +82,7 @@ def registry_for_store(store) -> MetricRegistry:
     return registry
 
 
-def registry_for_blockdevice(ftl) -> MetricRegistry:
+def registry_for_blockdevice(ftl: PageMappingFTL) -> MetricRegistry:
     """Registry over an FTL block device (PageMappingFTL / DFTL / hot-cold)."""
     registry = MetricRegistry()
     _mount_device(registry, ftl.device)
@@ -79,7 +90,7 @@ def registry_for_blockdevice(ftl) -> MetricRegistry:
     return registry
 
 
-def registry_for_database(db) -> MetricRegistry:
+def registry_for_database(db: Database) -> MetricRegistry:
     """Registry over a full :class:`~repro.db.database.Database` stack.
 
     Mounts the flash device, the management layer (whichever architecture

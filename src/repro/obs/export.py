@@ -42,7 +42,7 @@ def dump_json(payload: dict) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def metrics_doc(command: str, configs: dict[str, dict], **extra) -> dict:
+def metrics_doc(command: str, configs: dict[str, dict], **extra: object) -> dict:
     """Wrap per-config metric sections in the versioned envelope."""
     doc = {"schema": SCHEMA_VERSION, "command": command, "configs": configs}
     doc.update(extra)

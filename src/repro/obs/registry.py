@@ -19,7 +19,7 @@ from __future__ import annotations
 from typing import Callable
 
 from repro.flash.stats import LatencyAccumulator
-from repro.obs.api import MetricKeyError, check_key, prefixed, read_source
+from repro.obs.api import MetricKeyError, SourceLike, check_key, prefixed, read_source
 
 
 class Counter:
@@ -86,7 +86,7 @@ class MetricRegistry:
     # ------------------------------------------------------------------
     # Sources
     # ------------------------------------------------------------------
-    def register_source(self, prefix: str, source) -> None:
+    def register_source(self, prefix: str, source: SourceLike) -> None:
         """Mount a :class:`Snapshottable` (or zero-arg callable) under ``prefix``.
 
         The source's local keys appear in :meth:`snapshot` as

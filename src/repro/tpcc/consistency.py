@@ -22,8 +22,12 @@ from __future__ import annotations
 
 from collections import defaultdict
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.db.database import Database
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.db.records import Schema
 
 
 @dataclass
@@ -65,7 +69,7 @@ def check_consistency(db: Database, at: float = 0.0) -> ConsistencyReport:
     return report
 
 
-def _district_key(row, schema) -> tuple[int, int]:
+def _district_key(row: tuple, schema: Schema) -> tuple[int, int]:
     return row[schema.position("d_w_id")], row[schema.position("d_id")]
 
 

@@ -29,6 +29,7 @@ from repro.tpcc.transactions import (
     PAYMENT,
     STOCK_LEVEL,
     TransactionExecutor,
+    TxnResult,
 )
 
 #: Spec 5.2.3 minimum mix, expressed as cumulative percentage bands.
@@ -100,7 +101,7 @@ class Driver:
                 return kind
         return STOCK_LEVEL
 
-    def _execute(self, terminal: Terminal, kind: str):
+    def _execute(self, terminal: Terminal, kind: str) -> TxnResult:
         at = terminal.clock_us
         if kind == NEW_ORDER:
             return self.executor.new_order_txn(terminal.w_id, at)

@@ -16,10 +16,14 @@ count as executed, per spec 2.4.1.4).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.db.database import Database
 from repro.tpcc.random_gen import TPCCRandom
 from repro.tpcc.schema import ScaleConfig
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.db.heap import RID
 
 #: Sentinel above any real key component (for open-ended range scans).
 KEY_MAX = 2**62
@@ -72,14 +76,18 @@ class TransactionExecutor:
     # ------------------------------------------------------------------
     # Customer selection helpers
     # ------------------------------------------------------------------
-    def _customer_by_id(self, w_id: int, d_id: int, c_id: int, at: float):
+    def _customer_by_id(
+        self, w_id: int, d_id: int, c_id: int, at: float
+    ) -> tuple[RID, tuple, float]:
         rid, at = self.customer.lookup_rid("C_IDX", (w_id, d_id, c_id), at)
         if rid is None:
             raise LookupError(f"customer ({w_id},{d_id},{c_id}) missing")
         row, at = self.customer.read(rid, at)
         return rid, row, at
 
-    def _customer_by_name(self, w_id: int, d_id: int, last: str, at: float):
+    def _customer_by_name(
+        self, w_id: int, d_id: int, last: str, at: float
+    ) -> tuple[RID | None, tuple | None, float]:
         """Spec 2.5.2.2: all matches sorted by first name, take ceil(n/2)."""
         index = self.customer.index("C_NAME_IDX")
         entries, at = index.btree.range_scan(
@@ -92,7 +100,9 @@ class TransactionExecutor:
         row, at = self.customer.read(rid, at)
         return rid, row, at
 
-    def _pick_customer(self, w_id: int, d_id: int, at: float):
+    def _pick_customer(
+        self, w_id: int, d_id: int, at: float
+    ) -> tuple[RID, tuple, float]:
         """60% by last name, 40% by NURand id (spec 2.5.1.2)."""
         if self.rng.uniform(1, 100) <= 60:
             last = self.rng.customer_last_name_run(self.scale.customers_per_district)

@@ -1,0 +1,14 @@
+"""Bad: a mutated counter never surfaces in its class's snapshot()."""
+
+
+class CoverageStats:
+    cv_seen: int = 0
+    cv_hidden: int = 0
+
+    def snapshot(self) -> dict[str, float]:
+        return {"cv_seen": self.cv_seen}
+
+
+def record(stats: CoverageStats) -> None:
+    stats.cv_seen += 1
+    stats.cv_hidden += 1

@@ -1,0 +1,18 @@
+"""Good: every mutated counter is read by snapshot() or a property."""
+
+
+class CoverageStats:
+    cv_seen: int = 0
+    cv_derived: int = 0
+
+    @property
+    def cv_ratio(self) -> float:
+        return self.cv_derived / self.cv_seen if self.cv_seen else 0.0
+
+    def snapshot(self) -> dict[str, float]:
+        return {"cv_seen": self.cv_seen, "cv_ratio": self.cv_ratio}
+
+
+def record(stats: CoverageStats) -> None:
+    stats.cv_seen += 1
+    stats.cv_derived += 1

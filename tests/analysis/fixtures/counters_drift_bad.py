@@ -1,0 +1,20 @@
+"""Bad: float arithmetic lands in int-annotated *Stats counters."""
+
+
+class FixtureStats:
+    fx_ops: int = 0
+    fx_moves: int = 0
+    fx_bytes: int = 0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "fx_ops": self.fx_ops,
+            "fx_moves": self.fx_moves,
+            "fx_bytes": self.fx_bytes,
+        }
+
+
+def account(stats: FixtureStats, total: int) -> None:
+    stats.fx_ops += total / 2
+    stats.fx_moves += 0.5
+    stats.fx_bytes = float(total)

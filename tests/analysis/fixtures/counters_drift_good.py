@@ -1,0 +1,20 @@
+"""Good: int counters only ever receive integer arithmetic."""
+
+
+class FixtureStats:
+    fx_ops: int = 0
+    fx_moves: int = 0
+    fx_bytes: int = 0
+
+    def snapshot(self) -> dict[str, float]:
+        return {
+            "fx_ops": self.fx_ops,
+            "fx_moves": self.fx_moves,
+            "fx_bytes": self.fx_bytes,
+        }
+
+
+def account(stats: FixtureStats, total: int) -> None:
+    stats.fx_ops += total // 2
+    stats.fx_moves += 1
+    stats.fx_bytes = int(total / 2)

@@ -1,0 +1,12 @@
+"""Bad: internal callers of the deprecated shim surfaces."""
+
+import repro.ftl.stats
+from repro.ftl.stats import ManagementStats
+
+
+def report(tracer) -> dict:
+    return tracer.summary()
+
+
+def report_nested(device) -> dict:
+    return device.trace.summary()

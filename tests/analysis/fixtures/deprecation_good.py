@@ -1,0 +1,16 @@
+"""Good: canonical import path and snapshot() instead of summary()."""
+
+from repro.mapping.stats import ManagementStats
+
+
+def fresh() -> ManagementStats:
+    return ManagementStats()
+
+
+def report(tracer) -> dict:
+    return tracer.snapshot()
+
+
+def workload(metrics) -> dict:
+    # WorkloadMetrics.summary() is a different, non-deprecated API.
+    return metrics.summary()

@@ -1,0 +1,13 @@
+"""Bad: dead imports."""
+
+import json
+import os
+from pathlib import Path, PurePath
+
+
+def dump(payload: dict) -> str:
+    return json.dumps(payload)
+
+
+def resolve(raw: str) -> Path:
+    return Path(raw)

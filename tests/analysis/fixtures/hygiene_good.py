@@ -1,0 +1,15 @@
+"""Good: every import is used — directly, via re-export, quoted
+annotation, or an __all__ listing."""
+
+import json
+from pathlib import Path as Path  # explicit re-export idiom
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from collections import OrderedDict
+
+__all__ = ["dump", "json"]
+
+
+def dump(payload: "OrderedDict[str, int]") -> str:
+    return json.dumps(dict(payload))

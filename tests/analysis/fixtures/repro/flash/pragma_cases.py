@@ -1,0 +1,16 @@
+"""Pragma fixture: suppressed hit, next-line pragma, unused pragma."""
+
+import time
+
+
+def stamp() -> float:
+    return time.time()  # lint: ok(determinism.wallclock) -- fixture: host-side timing
+
+def stamp_standalone() -> float:
+    # lint: ok(determinism.wallclock) -- fixture: pragma on the comment line above
+    return time.time()
+
+
+def clean(at: float) -> float:
+    # lint: ok(determinism.unseeded-random) -- fixture: never fires (unused)
+    return at + 1.0

@@ -1,0 +1,16 @@
+"""Bad: iterating set expressions directly (hash order) in a sim package."""
+
+
+def walk(items: list[int]) -> list[int]:
+    out = []
+    for value in {1, 2, 3}:
+        out.append(value)
+    return out
+
+
+def listed(items: list[int]) -> list[int]:
+    return list(set(items))
+
+
+def compare(live: list[int], moved: list[int]) -> list[int]:
+    return [page for page in set(live) - set(moved)]

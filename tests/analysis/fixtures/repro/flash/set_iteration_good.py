@@ -1,0 +1,16 @@
+"""Good: set expressions pinned with sorted() before iteration."""
+
+
+def walk() -> list[int]:
+    out = []
+    for value in sorted({1, 2, 3}):
+        out.append(value)
+    return out
+
+
+def listed(items: list[int]) -> list[int]:
+    return sorted(set(items))
+
+
+def over_dict(table: dict[int, str]) -> list[int]:
+    return [key for key in table]

@@ -1,0 +1,16 @@
+"""Bad: global-RNG calls and a seedless Random inside a sim package."""
+
+import random
+from random import randint
+
+
+def roll() -> int:
+    return randint(1, 6)
+
+
+def jitter() -> float:
+    return random.random()
+
+
+def make_rng() -> random.Random:
+    return random.Random()

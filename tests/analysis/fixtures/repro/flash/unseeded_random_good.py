@@ -1,0 +1,11 @@
+"""Good: one explicitly seeded random.Random instance."""
+
+import random
+
+
+def make_rng(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def jitter(rng: random.Random) -> float:
+    return rng.random()

@@ -1,0 +1,17 @@
+"""Bad: wall-clock and entropy reads inside a sim package."""
+
+import os
+import time
+from time import perf_counter
+
+
+def stamp() -> float:
+    return time.time()
+
+
+def tick() -> float:
+    return perf_counter()
+
+
+def salt() -> bytes:
+    return os.urandom(8)

@@ -1,0 +1,9 @@
+"""Good: time comes from the virtual clock passed in by the caller."""
+
+
+def stamp(at: float, service_us: float) -> float:
+    return at + service_us
+
+
+def describe(now: float) -> str:
+    return f"t={now:.1f}us"

@@ -1,0 +1,85 @@
+"""Pragma parsing and suppression semantics."""
+
+from pathlib import Path
+
+from repro.analysis import lint_paths, parse_pragmas
+from repro.analysis.pragmas import PragmaLedger
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+class TestParsing:
+    def test_inline_pragma(self):
+        [pragma] = parse_pragmas("x = f()  # lint: ok(determinism.wallclock)\n")
+        assert pragma.line == 1
+        assert pragma.applies_to == 1
+        assert pragma.rule_ids == ("determinism.wallclock",)
+        assert pragma.justification == ""
+
+    def test_justification_and_multiple_rules(self):
+        [pragma] = parse_pragmas(
+            "y = g()  # lint: ok(rule-a, rule-b) -- measured host-side only\n"
+        )
+        assert pragma.rule_ids == ("rule-a", "rule-b")
+        assert pragma.justification == "measured host-side only"
+
+    def test_standalone_comment_applies_to_next_code_line(self):
+        source = (
+            "import time\n"
+            "\n"
+            "# lint: ok(determinism.wallclock) -- why\n"
+            "# another comment\n"
+            "t = time.time()\n"
+        )
+        [pragma] = parse_pragmas(source)
+        assert pragma.line == 3
+        assert pragma.applies_to == 5
+
+    def test_whitespace_tolerance(self):
+        [pragma] = parse_pragmas("z = 1  #lint:ok( a.b , c.d )--  spaced  \n")
+        assert pragma.rule_ids == ("a.b", "c.d")
+        assert pragma.justification == "spaced"
+
+    def test_non_pragma_comments_ignored(self):
+        assert parse_pragmas("# lint this please\nx = 1  # ok(nothing)\n") == []
+
+    def test_empty_rule_list_ignored(self):
+        assert parse_pragmas("x = 1  # lint: ok( )\n") == []
+
+    def test_pragma_syntax_inside_strings_is_not_a_pragma(self):
+        # Docs quoting the grammar (e.g. this module's own docstring) must
+        # not register as suppressions — only real COMMENT tokens count.
+        source = '"""Usage::\n\n    # lint: ok(rule-id)\n"""\nx = 1\n'
+        assert parse_pragmas(source) == []
+        assert parse_pragmas('s = "# lint: ok(rule-a)"\n') == []
+
+
+class TestLedger:
+    def test_matching_pragma_suppresses_and_is_used(self):
+        [pragma] = parse_pragmas("x = f()  # lint: ok(rule-a)\n")
+        ledger = PragmaLedger([pragma])
+        assert ledger.suppresses("rule-a", 1)
+        assert not ledger.suppresses("rule-b", 1)
+        assert not ledger.suppresses("rule-a", 2)
+        assert ledger.unused() == []
+
+    def test_unfired_pragma_reported_unused(self):
+        [pragma] = parse_pragmas("x = 1  # lint: ok(rule-a)\n")
+        ledger = PragmaLedger([pragma])
+        assert ledger.unused() == [pragma]
+
+
+class TestEndToEnd:
+    def test_pragma_fixture(self):
+        result = lint_paths(
+            [FIXTURES / "repro" / "flash" / "pragma_cases.py"],
+            rule_ids=["determinism.wallclock", "determinism.unseeded-random"],
+        )
+        # Both wallclock hits are pragma-suppressed (inline + standalone form).
+        assert result.violations == []
+        assert result.exit_code == 0
+        # The unseeded-random pragma never fires and is surfaced as unused.
+        assert len(result.unused_pragmas) == 1
+        path, pragma = result.unused_pragmas[0]
+        assert path.endswith("pragma_cases.py")
+        assert pragma.rule_ids == ("determinism.unseeded-random",)
