@@ -9,7 +9,6 @@ from __future__ import annotations
 
 from repro.analysis.core import Rule
 from repro.analysis.rules.counters import CounterDocCoverageRule, CounterIntDriftRule
-from repro.analysis.rules.deprecation import DeprecatedInternalCallerRule
 from repro.analysis.rules.determinism import (
     SetIterationRule,
     UnseededRandomRule,
@@ -28,7 +27,6 @@ def build_rules() -> list[Rule]:
         OptionalHookGuardRule(),
         CounterIntDriftRule(),
         CounterDocCoverageRule(),
-        DeprecatedInternalCallerRule(),
         UnusedImportRule(),
     ]
 
@@ -36,7 +34,6 @@ def build_rules() -> list[Rule]:
 __all__ = [
     "CounterDocCoverageRule",
     "CounterIntDriftRule",
-    "DeprecatedInternalCallerRule",
     "OptionalHookGuardRule",
     "SetIterationRule",
     "UnseededRandomRule",

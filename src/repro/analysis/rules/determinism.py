@@ -1,7 +1,7 @@
 """Determinism rules: the simulation must be a pure function of its seeds.
 
 Scope: the simulation packages (``flash``, ``mapping``, ``ftl``, ``core``,
-``db``, ``faults``).  Wall-clock reads and ambient entropy are allowed in
+``db``, ``faults``, ``policies``).  Wall-clock reads and ambient entropy are allowed in
 ``bench/`` (host-side throughput measurement) and the CLI — those never
 feed simulated counters.
 
@@ -28,7 +28,7 @@ from repro.analysis.astutil import dotted_name
 from repro.analysis.core import Rule, SourceModule, Violation
 
 #: packages whose code feeds simulated counters — the determinism scope
-SIM_PACKAGES = ("flash/", "mapping/", "ftl/", "core/", "db/", "faults/")
+SIM_PACKAGES = ("flash/", "mapping/", "ftl/", "core/", "db/", "faults/", "policies/")
 
 #: dotted call patterns that read the wall clock or ambient entropy
 _WALLCLOCK_SUFFIXES = (

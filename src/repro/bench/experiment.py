@@ -24,6 +24,7 @@ from repro.tpcc.schema import ScaleConfig, bench_scale
 if TYPE_CHECKING:  # pragma: no cover - annotation only
     from repro.mapping.stats import ManagementStats
     from repro.faults.plan import FaultPlan
+    from repro.policies import GCPolicy, WLPolicy
 
 
 @dataclass(frozen=True)
@@ -43,6 +44,9 @@ class TPCCExperimentConfig:
         timing: flash latency model.
         seed: workload RNG seed.
         overprovision: FTL-only export fraction.
+        gc_policy / wl_policy: policy name or object (:mod:`repro.policies`)
+            for the FTL path and for placements derived from this config;
+            an explicit ``placement`` carries its own per-region policies.
         initial_bad_block_rate / device_seed: factory bad-block model of
             the underlying device.
         fault_plan: optional fault-injection schedule, attached after load
@@ -65,6 +69,8 @@ class TPCCExperimentConfig:
     timing: TimingModel = field(default_factory=TimingModel)
     seed: int = 42
     overprovision: float = 0.1
+    gc_policy: "str | GCPolicy" = "greedy"
+    wl_policy: "str | WLPolicy" = "coldest_first"
     cpu_us_per_op: float = 5.0
     initial_bad_block_rate: float = 0.0
     device_seed: int = 0
@@ -216,6 +222,8 @@ def build_database(config: TPCCExperimentConfig) -> Database:
         timing=config.timing,
         ftl=config.ftl,
         overprovision=config.overprovision,
+        gc_policy=config.gc_policy,
+        wl_policy=config.wl_policy,
         initial_bad_block_rate=config.initial_bad_block_rate,
         device_seed=config.device_seed,
         **common,
@@ -246,7 +254,7 @@ def derive_method_placement(
     profile_config = replace(
         config,
         name="profile",
-        placement=traditional_placement(config.geometry.dies),
+        placement=traditional_placement(config.geometry.dies, gc_policy=config.gc_policy),
         num_transactions=profile_transactions,
         duration_us=None,
     )
@@ -275,6 +283,7 @@ def derive_method_placement(
         geometry.dies,
         safe_pages_per_die=safe_per_die,
         headroom=1.15,
+        gc_policy=config.gc_policy,
         name=name,
     )
 

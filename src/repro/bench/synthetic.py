@@ -25,6 +25,7 @@ from repro.flash.timing import TimingModel
 from repro.ftl.dftl import DFTL
 from repro.ftl.hotcold import HotColdFTL
 from repro.ftl.page_mapping import PageMappingFTL
+from repro.policies import GCPolicy, WLPolicy
 
 
 @dataclass(frozen=True)
@@ -65,9 +66,13 @@ HOT_COLD_CLASSES = (
 class SyntheticConfig:
     """Parameters of a synthetic run.
 
-    ``initial_bad_block_rate`` / ``device_seed`` configure the device's
-    factory bad-block map; ``fault_plan`` optionally attaches a seeded
-    fault injector for the measured write phase (preload is fault-free).
+    ``gc_policy`` / ``wl_policy`` accept a registered policy name or a
+    ready policy object (see :mod:`repro.policies`) and apply to every
+    management layer the run builds — each region / FTL resolves its own
+    fresh instance when given a name.  ``initial_bad_block_rate`` /
+    ``device_seed`` configure the device's factory bad-block map;
+    ``fault_plan`` optionally attaches a seeded fault injector for the
+    measured write phase (preload is fault-free).
     """
 
     classes: tuple[ObjectClass, ...] = HOT_COLD_CLASSES
@@ -76,7 +81,8 @@ class SyntheticConfig:
     writes: int = 40_000
     seed: int = 1
     timing: TimingModel = field(default_factory=TimingModel)
-    gc_policy: str = "greedy"
+    gc_policy: str | GCPolicy = "greedy"
+    wl_policy: str | WLPolicy = "coldest_first"
     initial_bad_block_rate: float = 0.0
     device_seed: int = 0
     fault_plan: object | None = None  # repro.faults.plan.FaultPlan
@@ -209,13 +215,20 @@ def run_noftl_synthetic(config: SyntheticConfig, separated: bool) -> SyntheticRe
         for cls, dies in zip(config.classes, shares):
             regions.append(
                 store.create_region(
-                    RegionConfig(name=f"rg_{cls.name}", gc_policy=config.gc_policy),
+                    RegionConfig(
+                        name=f"rg_{cls.name}",
+                        gc_policy=config.gc_policy,
+                        wl_policy=config.wl_policy,
+                    ),
                     num_dies=dies,
                 )
             )
     else:
         shared = store.create_region(
-            RegionConfig(name="rgAll", gc_policy=config.gc_policy), num_dies=config.dies
+            RegionConfig(
+                name="rgAll", gc_policy=config.gc_policy, wl_policy=config.wl_policy
+            ),
+            num_dies=config.dies,
         )
         regions = [shared for __ in config.classes]
 
@@ -285,7 +298,10 @@ def run_ftl_synthetic(config: SyntheticConfig, ftl: str = "page", cmt_entries: i
     overprovision = max(0.05, 1.0 - (live_target / geometry.total_pages) - 0.02)
     if ftl == "page":
         dev: PageMappingFTL = PageMappingFTL(
-            device, overprovision=overprovision, gc_policy=config.gc_policy
+            device,
+            overprovision=overprovision,
+            gc_policy=config.gc_policy,
+            wl_policy=config.wl_policy,
         )
     elif ftl == "dftl":
         dev = DFTL(
@@ -293,12 +309,14 @@ def run_ftl_synthetic(config: SyntheticConfig, ftl: str = "page", cmt_entries: i
             cmt_entries=cmt_entries,
             overprovision=overprovision,
             gc_policy=config.gc_policy,
+            wl_policy=config.wl_policy,
         )
     elif ftl == "hotcold":
         dev = HotColdFTL(
             device,
             overprovision=overprovision,
             gc_policy=config.gc_policy,
+            wl_policy=config.wl_policy,
         )
     else:
         raise ValueError(f"unknown ftl kind {ftl!r}")

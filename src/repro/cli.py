@@ -156,6 +156,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
         terminals=8,
         buffer_pages=768,
         flusher_interval=256,
+        gc_policy=args.gc_policy,
         initial_bad_block_rate=args.bad_block_rate,
         device_seed=args.device_seed,
         fault_plan=_load_fault_plan(args),
@@ -164,14 +165,18 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
     placement = derive_method_placement(config, args.transactions)
     _progress(args, "running traditional placement ...")
     traditional = run_tpcc_experiment(
-        replace(config, name="traditional", placement=traditional_placement(64))
+        replace(
+            config,
+            name="traditional",
+            placement=traditional_placement(64, gc_policy=args.gc_policy),
+        )
     )
     _progress(args, "running multi-region placement ...")
     regions = run_tpcc_experiment(replace(config, name="regions", placement=placement))
     _progress(args, "")
-    return _emit(
-        args, figure3_metrics_doc(traditional, regions), figure3_table(traditional, regions)
-    )
+    doc = figure3_metrics_doc(traditional, regions)
+    doc["policies"] = {"gc": args.gc_policy}
+    return _emit(args, doc, figure3_table(traditional, regions))
 
 
 def _cmd_hotcold(args: argparse.Namespace) -> int:
@@ -180,6 +185,8 @@ def _cmd_hotcold(args: argparse.Namespace) -> int:
 
     config = SyntheticConfig(
         writes=args.writes,
+        gc_policy=args.gc_policy,
+        wl_policy=args.wl_policy,
         initial_bad_block_rate=args.bad_block_rate,
         device_seed=args.device_seed,
         fault_plan=_load_fault_plan(args),
@@ -192,7 +199,9 @@ def _cmd_hotcold(args: argparse.Namespace) -> int:
         [mixed.row(), separated.row()],
     )
     doc = metrics_doc(
-        "hotcold", {mixed.name: mixed.metrics(), separated.name: separated.metrics()}
+        "hotcold",
+        {mixed.name: mixed.metrics(), separated.name: separated.metrics()},
+        policies={"gc": args.gc_policy, "wl": args.wl_policy},
     )
     return _emit(args, doc, text)
 
@@ -209,6 +218,8 @@ def _cmd_ftl(args: argparse.Namespace) -> int:
     config = SyntheticConfig(
         writes=args.writes,
         utilization=0.65,
+        gc_policy=args.gc_policy,
+        wl_policy=args.wl_policy,
         initial_bad_block_rate=args.bad_block_rate,
         device_seed=args.device_seed,
         fault_plan=_load_fault_plan(args),
@@ -227,7 +238,11 @@ def _cmd_ftl(args: argparse.Namespace) -> int:
         ["stack", "GC copybacks", "GC erases", "WA", "writes/s"],
         [r.row() for r in results],
     )
-    doc = metrics_doc("ftl", {r.name: r.metrics() for r in results})
+    doc = metrics_doc(
+        "ftl",
+        {r.name: r.metrics() for r in results},
+        policies={"gc": args.gc_policy, "wl": args.wl_policy},
+    )
     return _emit(args, doc, text)
 
 
@@ -320,6 +335,8 @@ def _cmd_report(args: argparse.Namespace) -> int:
 
 def build_parser() -> argparse.ArgumentParser:
     """Construct the CLI argument parser."""
+    from repro.policies import available_gc_policies, available_wl_policies
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="NoFTL regions reproduction (EDBT 2016) - experiment runner",
@@ -361,6 +378,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="fault-injection schedule to arm for the measured run "
         "(JSON, see repro.faults.plan)",
     )
+    gc_opts = argparse.ArgumentParser(add_help=False)
+    gc_opts.add_argument(
+        "--gc-policy",
+        choices=available_gc_policies(),
+        default="greedy",
+        help="GC victim-selection policy from the repro.policies registry (default: greedy)",
+    )
+    wl_opts = argparse.ArgumentParser(add_help=False)
+    wl_opts.add_argument(
+        "--wl-policy",
+        choices=available_wl_policies(),
+        default="coldest_first",
+        help="wear-leveling policy from the repro.policies registry (default: coldest_first)",
+    )
 
     info = sub.add_parser("info", parents=[common], help="package and simulator defaults")
     info.set_defaults(fn=_cmd_info)
@@ -371,7 +402,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig3 = sub.add_parser(
         "fig3",
-        parents=[common, metrics_out, device_opts],
+        parents=[common, metrics_out, device_opts, gc_opts],
         help="run the Figure 3 comparison",
     )
     fig3.add_argument("--transactions", type=int, default=3000)
@@ -382,7 +413,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     hotcold = sub.add_parser(
         "hotcold",
-        parents=[common, metrics_out, device_opts],
+        parents=[common, metrics_out, device_opts, gc_opts, wl_opts],
         help="hot/cold separation ablation",
     )
     hotcold.add_argument("--writes", type=int, default=15_000)
@@ -390,7 +421,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ftl = sub.add_parser(
         "ftl",
-        parents=[common, metrics_out, device_opts],
+        parents=[common, metrics_out, device_opts, gc_opts, wl_opts],
         help="FTL vs NoFTL motivation experiment",
     )
     ftl.add_argument("--writes", type=int, default=10_000)

@@ -77,8 +77,10 @@ def parse_create_region(sql: str) -> CreateRegionStatement:
     """Parse a ``CREATE REGION`` statement into a :class:`RegionConfig`.
 
     Recognised parameters (all optional): ``MAX_CHIPS``, ``MAX_CHANNELS``,
-    ``MAX_SIZE``, ``DIES``, ``GC_POLICY`` (``GREEDY``/``COST_BENEFIT``),
-    ``WEAR_LEVEL_THRESHOLD``, ``READ_DISTURB_THRESHOLD``.
+    ``MAX_SIZE``, ``DIES``, ``GC_POLICY`` / ``WL_POLICY`` (any name
+    registered in :mod:`repro.policies`, e.g. ``GREEDY``,
+    ``COST_BENEFIT``), ``WEAR_LEVEL_THRESHOLD``,
+    ``READ_DISTURB_THRESHOLD``.
     """
     match = _CREATE_RE.match(sql)
     if not match:
@@ -90,6 +92,7 @@ def parse_create_region(sql: str) -> CreateRegionStatement:
         "MAX_SIZE",
         "DIES",
         "GC_POLICY",
+        "WL_POLICY",
         "WEAR_LEVEL_THRESHOLD",
         "READ_DISTURB_THRESHOLD",
     }
@@ -106,6 +109,7 @@ def parse_create_region(sql: str) -> CreateRegionStatement:
         max_channels=int_param("MAX_CHANNELS"),
         max_size_bytes=parse_size(params["MAX_SIZE"]) if "MAX_SIZE" in params else None,
         gc_policy=params.get("GC_POLICY", "greedy").lower(),
+        wl_policy=params.get("WL_POLICY", "coldest_first").lower(),
         wear_level_threshold=int_param("WEAR_LEVEL_THRESHOLD"),
         read_disturb_threshold=int_param("READ_DISTURB_THRESHOLD"),
     )

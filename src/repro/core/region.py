@@ -22,6 +22,7 @@ from repro.flash.geometry import MIB
 from repro.mapping.blockinfo import DieBookkeeping
 from repro.mapping.engine import FlashSpaceEngine
 from repro.mapping.stats import ManagementStats
+from repro.policies import GCPolicy, WLPolicy, policy_name
 
 
 class RegionError(Exception):
@@ -42,7 +43,11 @@ class RegionConfig:
         max_channels: upper bound on distinct channels used, or ``None``.
         max_size_bytes: upper bound on the region's logical capacity, or
             ``None`` for "whatever the dies provide".
-        gc_policy: victim selection for this region's GC.
+        gc_policy: victim selection for this region's GC — a registered
+            policy name or a :class:`~repro.policies.base.GCPolicy`
+            instance (see :mod:`repro.policies`).
+        wl_policy: static-WL block ranking — a registered name or a
+            :class:`~repro.policies.base.WLPolicy` instance.
         gc_trigger_free_blocks / gc_target_free_blocks: per-die watermarks.
         wear_level_threshold: per-die static-WL trigger, or ``None``.
         object_frontiers: when ``True`` (the paper's *intelligent data
@@ -57,7 +62,8 @@ class RegionConfig:
     max_chips: int | None = None
     max_channels: int | None = None
     max_size_bytes: int | None = None
-    gc_policy: str = "greedy"
+    gc_policy: str | GCPolicy = "greedy"
+    wl_policy: str | WLPolicy = "coldest_first"
     gc_trigger_free_blocks: int = 2
     gc_target_free_blocks: int = 3
     wear_level_threshold: int | None = None
@@ -109,6 +115,7 @@ class Region:
             books=books,
             stats=self.stats,
             gc_policy=config.gc_policy,
+            wl_policy=config.wl_policy,
             gc_trigger_free_blocks=config.gc_trigger_free_blocks,
             gc_target_free_blocks=config.gc_target_free_blocks,
             wear_level_threshold=config.wear_level_threshold,
@@ -365,7 +372,8 @@ class Region:
             "channels": sorted(self.channels_used()),
             "capacity_pages": self.capacity_pages(),
             "used_pages": self.used_pages(),
-            "gc_policy": self.config.gc_policy,
+            "gc_policy": policy_name(self.config.gc_policy),
+            "wl_policy": policy_name(self.config.wl_policy),
             "max_size": self.config.max_size_human,
             "degraded": self.degraded,
             "failed_dies": list(self.failed_dies),

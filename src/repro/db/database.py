@@ -49,6 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.db.wal import WriteAheadLog
     from repro.obs.events import EventBus
     from repro.obs.registry import MetricRegistry
+    from repro.policies import GCPolicy, WLPolicy
 from repro.flash.device import FlashDevice
 from repro.flash.geometry import FlashGeometry, paper_geometry
 from repro.flash.timing import TimingModel
@@ -171,7 +172,8 @@ class Database:
         timing: TimingModel | None = None,
         ftl: str = "page",
         overprovision: float = 0.1,
-        gc_policy: str = "greedy",
+        gc_policy: "str | GCPolicy" = "greedy",
+        wl_policy: "str | WLPolicy" = "coldest_first",
         cmt_entries: int = 4096,
         initial_bad_block_rate: float = 0.0,
         device_seed: int = 0,
@@ -187,7 +189,8 @@ class Database:
         )
         if ftl == "page":
             ftl_device: PageMappingFTL = PageMappingFTL(
-                device, overprovision=overprovision, gc_policy=gc_policy
+                device, overprovision=overprovision, gc_policy=gc_policy,
+                wl_policy=wl_policy,
             )
         elif ftl == "dftl":
             ftl_device = DFTL(
@@ -195,6 +198,7 @@ class Database:
                 cmt_entries=cmt_entries,
                 overprovision=overprovision,
                 gc_policy=gc_policy,
+                wl_policy=wl_policy,
             )
         else:
             raise ValueError(f"unknown ftl kind {ftl!r}; expected 'page' or 'dftl'")

@@ -13,13 +13,12 @@ Usage::
     ...run workload...
     for event in tracer.between(1_000_000, 1_050_000):
         print(event)
-    print(tracer.summary())
+    print(tracer.snapshot())
     tracer.detach()
 """
 
 from __future__ import annotations
 
-import warnings
 from collections import Counter, deque
 from collections.abc import Callable
 from dataclasses import dataclass
@@ -167,26 +166,3 @@ class FlashTracer:
         for op, count in sorted(ops.items()):
             out[f"ops.{op}"] = float(count)
         return out
-
-    def summary(self) -> dict[str, object]:
-        """Deprecated legacy view; use :meth:`snapshot` instead.
-
-        Kept one release for callers that expect the nested ``ops`` dict
-        and ``busiest_die=None`` sentinel.
-        """
-        warnings.warn(
-            "FlashTracer.summary() is deprecated; use FlashTracer.snapshot() "
-            "(flat dotted keys) or mount the tracer on repro.obs.MetricRegistry",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        ops = Counter(e.op for e in self.events)
-        dies = Counter(e.die for e in self.events)
-        total_queue = sum(e.queue_us for e in self.events)
-        return {
-            "events": len(self.events),
-            "dropped": self.dropped,
-            "ops": dict(ops),
-            "busiest_die": dies.most_common(1)[0][0] if dies else None,
-            "mean_queue_us": total_queue / len(self.events) if self.events else 0.0,
-        }

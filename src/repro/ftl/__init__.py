@@ -10,7 +10,7 @@ from repro.ftl.blockdevice import BlockDevice, DeviceFullError
 from repro.ftl.dftl import DFTL
 from repro.ftl.hotcold import HotColdFTL, UpdateFrequencySketch
 from repro.ftl.page_mapping import PageMappingFTL
-from repro.mapping.stats import ManagementStats  # repro.ftl.stats is deprecated
+from repro.mapping.stats import ManagementStats
 
 #: Backwards-compatible alias used in the top-level API.
 DFTLDevice = DFTL

@@ -19,8 +19,14 @@ NoFTL regions — exactly the paper's hierarchy of knowledge.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.flash.device import FlashDevice
 from repro.ftl.page_mapping import PageMappingFTL
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.policies import GCPolicy, WLPolicy
+
 
 #: Placement-group ids used for the two on-device write frontiers.
 _COLD_GROUP = 0
@@ -83,11 +89,12 @@ class HotColdFTL(PageMappingFTL):
         hot_factor: float = 2.0,
         decay_interval: int = 8192,
         overprovision: float = 0.1,
-        gc_policy: str = "greedy",
+        gc_policy: "str | GCPolicy" = "greedy",
         gc_trigger_free_blocks: int = 2,
         gc_target_free_blocks: int = 3,
         wear_level_threshold: int | None = None,
         wl_check_interval_erases: int = 64,
+        wl_policy: "str | WLPolicy" = "coldest_first",
     ) -> None:
         if hot_factor <= 0:
             raise ValueError("hot_factor must be positive")
@@ -99,6 +106,7 @@ class HotColdFTL(PageMappingFTL):
             gc_target_free_blocks=gc_target_free_blocks,
             wear_level_threshold=wear_level_threshold,
             wl_check_interval_erases=wl_check_interval_erases,
+            wl_policy=wl_policy,
         )
         self.sketch = UpdateFrequencySketch(slots=sketch_slots, decay_interval=decay_interval)
         self.hot_factor = hot_factor

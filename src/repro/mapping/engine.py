@@ -35,7 +35,7 @@ from repro.flash.errors import (
 )
 from repro.mapping.blockinfo import BlockInfo, BlockState, DieBookkeeping
 from repro.mapping.stats import ManagementStats
-from repro.mapping.policies import choose_victim_from_books
+from repro.policies import GCPolicy, WLPolicy, resolve_gc_policy, resolve_wl_policy
 
 
 class SpaceFullError(Exception):
@@ -63,11 +63,18 @@ class FlashSpaceEngine:
             (rather than creating them) lets dies migrate between engines
             with their wear history intact.
         stats: counter sink (one per management layer or per region).
-        gc_policy: ``"greedy"`` or ``"cost_benefit"``.
+        gc_policy: GC victim selection — a registered policy name (e.g.
+            ``"greedy"``, ``"cost_benefit"``) or a ready
+            :class:`~repro.policies.base.GCPolicy` instance; resolved
+            through :func:`repro.policies.resolve_gc_policy` at
+            construction, so unknown names fail fast.
         gc_trigger_free_blocks / gc_target_free_blocks: per-die watermarks.
         wear_level_threshold: per-die erase-count spread triggering static
             WL, or ``None`` to disable.
         wl_check_interval_erases: WL evaluation cadence, in GC erases.
+        wl_policy: static-WL block ranking — a registered name (default
+            ``"coldest_first"``, the historical behaviour) or a
+            :class:`~repro.policies.base.WLPolicy` instance.
         obj_id: stamped into page metadata (regions use their region id).
         read_disturb_threshold: reads a block may absorb between erases
             before its live pages are refreshed (relocated) — real NAND
@@ -83,11 +90,12 @@ class FlashSpaceEngine:
         dies: list[int],
         books: dict[int, DieBookkeeping],
         stats: ManagementStats,
-        gc_policy: str = "greedy",
+        gc_policy: str | GCPolicy = "greedy",
         gc_trigger_free_blocks: int = 2,
         gc_target_free_blocks: int = 3,
         wear_level_threshold: int | None = None,
         wl_check_interval_erases: int = 64,
+        wl_policy: str | WLPolicy = "coldest_first",
         obj_id: int | None = None,
         group_stripe_width: int = 8,
         read_disturb_threshold: int | None = None,
@@ -112,7 +120,8 @@ class FlashSpaceEngine:
         self.dies: list[int] = list(dies)
         self.books = books
         self.stats = stats
-        self.gc_policy = gc_policy
+        self.gc_policy: GCPolicy = resolve_gc_policy(gc_policy)
+        self.wl_policy: WLPolicy = resolve_wl_policy(wl_policy)
         self.gc_trigger_free_blocks = gc_trigger_free_blocks
         self.gc_target_free_blocks = gc_target_free_blocks
         self.wear_level_threshold = wear_level_threshold
@@ -495,7 +504,7 @@ class FlashSpaceEngine:
         blocking = books.free_count <= 1
         t = at
         while books.free_count < self.gc_target_free_blocks:
-            victim = choose_victim_from_books(self.gc_policy, books, t)
+            victim = self.gc_policy.choose_victim_from_books(books, t)
             if victim is None:
                 if books.free_count == 0:
                     raise SpaceFullError(
@@ -513,6 +522,16 @@ class FlashSpaceEngine:
         if bus is not None:
             bus.emit(at, "mapping", "gc_collect", die=die_index, block=victim.block,
                      valid_pages=victim.valid_count, obj=self.obj_id)
+        # the policy gets the same payload as the obs event, so adaptive
+        # policies learn from the realised copy cost of their own picks
+        self.gc_policy.observe({
+            "event": "gc_collect",
+            "die": die_index,
+            "block": victim.block,
+            "valid_pages": victim.valid_count,
+            "pages_per_block": self._pages_per_block,
+            "obj": self.obj_id,
+        })
         for page in victim.valid_pages():
             src = PhysicalPageAddress(die_index, victim.block, page)
             at = self._relocate(src, at)
@@ -653,11 +672,15 @@ class FlashSpaceEngine:
         frees = books.free_blocks()
         if not frees:
             return at
-        worn_free = max(frees, key=lambda b: die.blocks[b.block].erase_count)
         fulls = [b for b in books.blocks if b.state is BlockState.FULL and b.valid_count > 0]
         if not fulls:
             return at
-        cold = min(fulls, key=lambda b: die.blocks[b.block].erase_count)
+        move = self.wl_policy.choose_move(
+            frees, fulls, lambda b: die.blocks[b.block].erase_count
+        )
+        if move is None:
+            return at
+        worn_free, cold = move
         spread = die.blocks[worn_free.block].erase_count - die.blocks[cold.block].erase_count
         if spread <= self.wear_level_threshold:
             return at

@@ -1,17 +1,16 @@
-"""Garbage-collection victim-selection policies.
+"""Functional façade over the GC policy lab (:mod:`repro.policies`).
 
-Both management layers use these policies; what differs between the paper's
-configurations is the *candidate set* they are applied to (whole device for
-the FTL, a single region's dies for NoFTL) — which is exactly the paper's
-point: region-local GC sees homogeneous data and picks better victims.
+Victim selection is owned by the policy objects in :mod:`repro.policies`;
+this module keeps the original free-function surface — the pure selection
+kernels plus string-dispatched helpers — for callers and benchmarks that
+do not hold a policy instance.  The engine itself resolves policies
+through the registry and calls them directly.
 
-Two classic policies are provided:
-
-* **greedy** — pick the block with the most invalid pages.  Minimises the
-  immediate copy cost; known to behave poorly when hot and cold data mix.
-* **cost-benefit** — Kawaguchi et al.'s ``benefit/cost = age * (1-u) / 2u``
-  score, which prefers old (cold) blocks even if they carry a few more
-  valid pages.
+Both management layers apply the same policies; what differs between the
+paper's configurations is the *candidate set* they are applied to (whole
+device for the FTL, a single region's dies for NoFTL) — which is exactly
+the paper's point: region-local GC sees homogeneous data and picks better
+victims.
 """
 
 from __future__ import annotations
@@ -19,6 +18,12 @@ from __future__ import annotations
 from collections.abc import Iterable
 
 from repro.mapping.blockinfo import BlockInfo, DieBookkeeping
+from repro.policies import (
+    available_gc_policies,
+    resolve_gc_policy,
+    select_victim_cost_benefit,
+    select_victim_greedy,
+)
 
 
 def choose_victim_greedy(candidates: Iterable[BlockInfo]) -> BlockInfo | None:
@@ -26,13 +31,7 @@ def choose_victim_greedy(candidates: Iterable[BlockInfo]) -> BlockInfo | None:
 
     Ties break toward the lower (die, block) address for determinism.
     """
-    best: BlockInfo | None = None
-    best_key: tuple[int, int, int] | None = None
-    for info in candidates:
-        key = (-info.invalid_count, info.die, info.block)
-        if best_key is None or key < best_key:
-            best, best_key = info, key
-    return best
+    return select_victim_greedy(candidates)
 
 
 def choose_victim_cost_benefit(
@@ -44,37 +43,19 @@ def choose_victim_cost_benefit(
     valid pages and ``age`` the time since the block was last written.  A
     fully-invalid block (``u == 0``) is always the best possible victim.
     """
-    best: BlockInfo | None = None
-    best_key: tuple[float, int, int] | None = None
-    for info in candidates:
-        u = info.valid_count / info.pages_per_block
-        if u == 0.0:
-            score = float("inf")
-        else:
-            age = max(0.0, now_us - info.last_write_us)
-            score = age * (1.0 - u) / (2.0 * u)
-        key = (-score, info.die, info.block)
-        if best_key is None or key < best_key:
-            best, best_key = info, key
-    return best
+    return select_victim_cost_benefit(candidates, now_us)
 
 
-#: Registry of policy names used by configuration objects.
-POLICIES = {
-    "greedy": "choose_victim_greedy",
-    "cost_benefit": "choose_victim_cost_benefit",
-}
+#: Registered policy names (kept as a mapping for backward compatibility;
+#: the authoritative catalogue is :func:`repro.policies.available_gc_policies`).
+POLICIES = {name: name for name in available_gc_policies()}
 
 
 def choose_victim(
     policy: str, candidates: Iterable[BlockInfo], now_us: float
 ) -> BlockInfo | None:
-    """Dispatch to a victim policy by name (``greedy`` or ``cost_benefit``)."""
-    if policy == "greedy":
-        return choose_victim_greedy(candidates)
-    if policy == "cost_benefit":
-        return choose_victim_cost_benefit(candidates, now_us)
-    raise ValueError(f"unknown GC policy {policy!r}; expected one of {sorted(POLICIES)}")
+    """Dispatch to a victim policy by registered name (e.g. ``greedy``)."""
+    return resolve_gc_policy(policy).choose_victim(candidates, now_us)
 
 
 def choose_victim_from_books(
@@ -82,17 +63,9 @@ def choose_victim_from_books(
 ) -> BlockInfo | None:
     """Victim selection over a die's *maintained* candidate set.
 
-    This is the engine's hot path.  Greedy reads straight from the
-    invalid-count buckets (near-O(1)); cost-benefit still scores every
-    candidate, but only the maintained set — not every block of the die —
-    and both pick the same victim a scan over
-    :meth:`~repro.mapping.blockinfo.DieBookkeeping.gc_candidates_scan`
-    would: greedy by construction, cost-benefit because its
-    ``(-score, die, block)`` ranking key is unique per block, making the
-    minimum independent of iteration order.
+    Matches the engine's hot path for the named policy: greedy reads
+    straight from the invalid-count buckets (near-O(1)); everything else
+    scores the maintained set — not every block of the die.  See
+    :meth:`repro.policies.base.GCPolicy.choose_victim_from_books`.
     """
-    if policy == "greedy":
-        return books.greedy_victim()
-    if policy == "cost_benefit":
-        return choose_victim_cost_benefit(books.iter_candidates(), now_us)
-    raise ValueError(f"unknown GC policy {policy!r}; expected one of {sorted(POLICIES)}")
+    return resolve_gc_policy(policy).choose_victim_from_books(books, now_us)

@@ -16,8 +16,7 @@ package is the single surface that collects, namespaces and exports them:
 * Collectors — :func:`registry_for_database` and friends mount a live
   stack's stats objects without touching their hot paths.
 
-The canonical stats classes are re-exported here; ``repro.ftl.stats``
-is a deprecated alias of this module's ``ManagementStats``.
+The canonical stats classes are re-exported here.
 """
 
 from repro.flash.stats import FlashStats, LatencyAccumulator

@@ -27,7 +27,6 @@ class TestRegistry:
         assert default_registry().ids() == [
             "counters.doc-coverage",
             "counters.int-drift",
-            "deprecation.internal-caller",
             "determinism.set-iteration",
             "determinism.unseeded-random",
             "determinism.wallclock",

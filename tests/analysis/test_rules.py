@@ -37,7 +37,6 @@ RULE_CASES = [
         "counters_coverage_good.py",
         1,
     ),
-    ("deprecation.internal-caller", "deprecation_bad.py", "deprecation_good.py", 4),
     ("hygiene.unused-import", "hygiene_bad.py", "hygiene_good.py", 2),
 ]
 
@@ -63,13 +62,6 @@ class TestScoping:
         bench = tmp_path / "bench_host.py"
         bench.write_text("import time\n\ndef t() -> float:\n    return time.time()\n")
         result = lint_paths([bench], rule_ids=["determinism.wallclock"])
-        assert result.exit_code == 0
-
-    def test_deprecation_rule_skips_the_shim_itself(self, tmp_path):
-        shim = tmp_path / "repro" / "ftl" / "stats.py"
-        shim.parent.mkdir(parents=True)
-        shim.write_text("from repro.mapping.stats import ManagementStats as ManagementStats\n")
-        result = lint_paths([shim], rule_ids=["deprecation.internal-caller"])
         assert result.exit_code == 0
 
     def test_unused_import_rule_skips_init_files(self, tmp_path):

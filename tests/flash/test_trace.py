@@ -112,13 +112,3 @@ class TestQueries:
         snap = tracer.snapshot()
         assert snap["events"] == 0.0
         assert snap["busiest_die"] == -1.0
-
-    def test_legacy_summary_still_matches_snapshot(self, device):
-        tracer = FlashTracer.attach(device)
-        device.program_page(ppa(), b"x")
-        with pytest.warns(DeprecationWarning):
-            summary = tracer.summary()
-        assert summary["events"] == 1
-        assert summary["ops"]["program_page"] == 1
-        assert summary["busiest_die"] == 0
-        tracer.detach()

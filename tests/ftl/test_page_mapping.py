@@ -124,11 +124,10 @@ class TestGarbageCollection:
         with pytest.raises(ValueError, match="overprovision"):
             make_ftl(overprovision=0.0)
 
-    def test_gc_policy_validated_on_use(self):
-        ftl = make_ftl(gc_policy="bogus")
-        with pytest.raises(ValueError):
-            for i in range(ftl.geometry.total_pages * 2):
-                ftl.write(i % 4, b"x")
+    def test_gc_policy_validated_at_construction(self):
+        # registry resolution is eager: a bogus name fails fast, not mid-GC
+        with pytest.raises(ValueError, match="bogus"):
+            make_ftl(gc_policy="bogus")
 
 
 class TestWearLeveling:

@@ -1,0 +1,34 @@
+"""Policy objects through the engine: aliases and objects are equivalent.
+
+The golden-snapshot tests in ``tests/mapping/test_engine_equivalence.py``
+pin the *string* path; here we pin that handing the engine a constructed
+policy object takes exactly the same decisions.
+"""
+
+import pytest
+
+from repro.policies import CostBenefitGC, GreedyGC, LearnedGC
+
+from tests.mapping.equivalence_workloads import run_engine_workload
+
+
+@pytest.mark.parametrize(
+    "obj,alias",
+    [(GreedyGC(), "greedy"), (CostBenefitGC(), "cost_benefit")],
+    ids=["greedy", "cost_benefit"],
+)
+def test_policy_object_matches_string_alias(obj, alias):
+    assert run_engine_workload(obj, seed=1) == run_engine_workload(alias, seed=1)
+
+
+def test_learned_policy_survives_a_full_workload():
+    policy = LearnedGC(seed=0)
+    snapshot = run_engine_workload(policy, seed=2, ops=3000)
+    assert snapshot["gc_erases"] > 0
+    assert policy.updates > 0  # the engine's observe() feed reached it
+
+
+def test_learned_policy_workload_is_reproducible():
+    a = run_engine_workload(LearnedGC(seed=3), seed=4, ops=3000)
+    b = run_engine_workload(LearnedGC(seed=3), seed=4, ops=3000)
+    assert a == b

@@ -1,0 +1,74 @@
+"""Registry resolution: names stay aliases, objects pass through."""
+
+import pytest
+
+from repro.policies import (
+    CostBenefitGC,
+    GCPolicy,
+    GreedyGC,
+    WLPolicy,
+    available_gc_policies,
+    available_wl_policies,
+    policy_name,
+    resolve_gc_policy,
+    resolve_wl_policy,
+)
+
+
+class TestCatalogue:
+    def test_gc_catalogue_pinned(self):
+        assert available_gc_policies() == [
+            "age_aware",
+            "cost_benefit",
+            "d_choices",
+            "greedy",
+            "learned",
+            "windowed_greedy",
+        ]
+
+    def test_wl_catalogue_pinned(self):
+        assert available_wl_policies() == ["coldest_first", "oldest_data"]
+
+
+class TestResolve:
+    def test_string_alias_resolves_to_policy_object(self):
+        policy = resolve_gc_policy("greedy")
+        assert isinstance(policy, GreedyGC)
+        assert policy.name == "greedy"
+
+    def test_each_resolution_is_a_fresh_instance(self):
+        # stateful policies (learned, d_choices) must not share RNGs/weights
+        assert resolve_gc_policy("learned") is not resolve_gc_policy("learned")
+
+    def test_policy_object_passes_through_untouched(self):
+        obj = CostBenefitGC()
+        assert resolve_gc_policy(obj) is obj
+
+    def test_unknown_gc_name_raises_with_catalogue(self):
+        with pytest.raises(ValueError, match="bogus"):
+            resolve_gc_policy("bogus")
+
+    def test_unknown_wl_name_raises(self):
+        with pytest.raises(ValueError, match="nope"):
+            resolve_wl_policy("nope")
+
+    def test_wl_resolution(self):
+        policy = resolve_wl_policy("coldest_first")
+        assert isinstance(policy, WLPolicy)
+        assert policy.name == "coldest_first"
+
+    @pytest.mark.parametrize("name", [
+        "age_aware", "cost_benefit", "d_choices", "greedy", "learned", "windowed_greedy",
+    ])
+    def test_every_registered_gc_name_resolves(self, name):
+        policy = resolve_gc_policy(name, seed=11)
+        assert isinstance(policy, GCPolicy)
+        assert policy.name == name
+
+
+class TestPolicyName:
+    def test_string_spec(self):
+        assert policy_name("cost_benefit") == "cost_benefit"
+
+    def test_object_spec(self):
+        assert policy_name(GreedyGC()) == "greedy"

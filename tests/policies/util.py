@@ -1,0 +1,35 @@
+"""Shared helpers for the policy-lab tests."""
+
+from __future__ import annotations
+
+import random
+
+from repro.mapping import BlockInfo
+
+
+def block(die, blk, pages=4, valid=0, written=None, last_write=0.0):
+    """Build a BlockInfo with `valid` live pages out of `written` written."""
+    written = pages if written is None else written
+    info = BlockInfo(die=die, block=blk, pages_per_block=pages)
+    for i in range(written):
+        info.note_write(i, last_write)
+    for i in range(written - valid):
+        info.invalidate(i)
+    return info
+
+
+def candidate_pool(seed, count=12, pages=8):
+    """A deterministic, varied pool of GC candidates (full blocks)."""
+    rng = random.Random(seed)
+    pool = []
+    for i in range(count):
+        pool.append(
+            block(
+                die=rng.randrange(4),
+                blk=i,
+                pages=pages,
+                valid=rng.randrange(pages + 1),
+                last_write=rng.uniform(0.0, 50_000.0),
+            )
+        )
+    return pool
