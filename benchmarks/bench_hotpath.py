@@ -114,9 +114,13 @@ def run_mode(book_cls, writes: int, checkpoint: int, seed: int = 7) -> dict:
     The warmup loop runs until every die has been through several GC
     rounds; both cost models consume the identical RNG stream and make the
     identical decisions, so the warmup write count and all GC counters are
-    exactly equal across modes.  ``checkpoint`` records the stats after
-    that many *timed* writes, letting the test compare the two modes at
-    equal write counts even though the fast mode times many more.
+    exactly equal across modes.  ``checkpoint`` records the stats — and a
+    timing split — after that many *timed* writes, letting the test
+    compare the two modes at equal write counts even though the fast mode
+    times many more: the reported speedup is the ratio of the
+    equal-window (checkpoint) rates, so a run's fixed overhead is
+    amortised over the same number of writes in both modes instead of
+    skewing the mode with the bigger budget.
     """
     engine = build_engine(book_cls)
     rng = random.Random(seed)
@@ -140,10 +144,12 @@ def run_mode(book_cls, writes: int, checkpoint: int, seed: int = 7) -> dict:
     base_copybacks = base.gc_copybacks
     base_victim_valid = base.gc_victim_valid_pages
     at_checkpoint: dict | None = None
+    split: float | None = None
     t0 = time.perf_counter()
     for i in range(writes):
         at = engine.write(next_key(), payload, at)
         if i + 1 == checkpoint:
+            split = time.perf_counter() - t0
             at_checkpoint = {
                 "gc_erases": engine.stats.gc_erases - base_erases,
                 "gc_copybacks": engine.stats.gc_copybacks - base_copybacks,
@@ -157,6 +163,9 @@ def run_mode(book_cls, writes: int, checkpoint: int, seed: int = 7) -> dict:
         "warmup_writes": warmup,
         "elapsed_s": round(elapsed, 4),
         "ops_per_sec": round(writes / elapsed, 1),
+        "checkpoint_writes": checkpoint if split is not None else None,
+        "checkpoint_elapsed_s": round(split, 4) if split is not None else None,
+        "checkpoint_ops_per_sec": round(checkpoint / split, 1) if split else None,
         "gc_erases": stats.gc_erases - base_erases,
         "gc_copybacks": stats.gc_copybacks - base_copybacks,
         "gc_victim_valid_pages": stats.gc_victim_valid_pages - base_victim_valid,
@@ -174,6 +183,7 @@ def run_bench() -> dict:
     result = {
         "benchmark": "engine write-path throughput (skewed overwrites, steady state)",
         "mode": mode,
+        "engine_core": "array",  # flat-column block/page state, packed addresses
         "geometry": {
             "dies": geometry.dies,
             "blocks_per_die": geometry.blocks_per_die,
@@ -181,7 +191,12 @@ def run_bench() -> dict:
         },
         "incremental": incremental,
         "seed_scan": seed_scan,
-        "speedup": round(incremental["ops_per_sec"] / seed_scan["ops_per_sec"], 2),
+        # equal-window ratio: both rates cover exactly `scan_writes` timed
+        # writes from the same warmed-up state, so fixed per-run overhead
+        # cancels instead of deflating the mode with the bigger budget
+        "speedup": round(
+            incremental["checkpoint_ops_per_sec"] / seed_scan["checkpoint_ops_per_sec"], 2
+        ),
     }
     RESULT_PATH.write_text(json.dumps(result, indent=2) + "\n")
     return result

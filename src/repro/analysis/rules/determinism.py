@@ -1,7 +1,9 @@
 """Determinism rules: the simulation must be a pure function of its seeds.
 
 Scope: the simulation packages (``flash``, ``mapping``, ``ftl``, ``core``,
-``db``, ``faults``, ``policies``).  Wall-clock reads and ambient entropy are allowed in
+``db``, ``faults``, ``policies``) plus ``bench/sharding.py`` — the shard
+runner promises bit-identical parallel runs, so it is held to the same
+bar.  Wall-clock reads and ambient entropy are allowed in the rest of
 ``bench/`` (host-side throughput measurement) and the CLI — those never
 feed simulated counters.
 
@@ -28,7 +30,12 @@ from repro.analysis.astutil import dotted_name
 from repro.analysis.core import Rule, SourceModule, Violation
 
 #: packages whose code feeds simulated counters — the determinism scope
-SIM_PACKAGES = ("flash/", "mapping/", "ftl/", "core/", "db/", "faults/", "policies/")
+#: (bench/ is host-side and exempt, except the shard runner, which
+#: promises bit-identical parallel simulation)
+SIM_PACKAGES = (
+    "flash/", "mapping/", "ftl/", "core/", "db/", "faults/", "policies/",
+    "bench/sharding.py",
+)
 
 #: dotted call patterns that read the wall clock or ambient entropy
 _WALLCLOCK_SUFFIXES = (

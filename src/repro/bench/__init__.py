@@ -18,7 +18,14 @@ from repro.bench.reporting import (
     render_table,
     save_report,
 )
-from repro.bench.timeline import gc_interference_report, render_timeline
+from repro.bench.sharding import (
+    ShardCell,
+    merge_metrics_docs,
+    run_cells,
+    run_fig3_shards,
+    run_ftl_shards,
+    run_hotcold_shards,
+)
 from repro.bench.synthetic import (
     HOT_COLD_CLASSES,
     ObjectClass,
@@ -27,17 +34,20 @@ from repro.bench.synthetic import (
     run_ftl_synthetic,
     run_noftl_synthetic,
 )
+from repro.bench.timeline import gc_interference_report, render_timeline
 
 __all__ = [
     "FIGURE3_ROWS",
     "HOT_COLD_CLASSES",
     "ObjectClass",
+    "ShardCell",
     "SyntheticConfig",
     "SyntheticResult",
     "TPCCExperimentConfig",
     "TPCCExperimentResult",
     "build_database",
     "derive_method_placement",
+    "merge_metrics_docs",
     "figure3_metrics_doc",
     "figure3_table",
     "format_value",
@@ -47,7 +57,11 @@ __all__ = [
     "render_timeline",
     "render_single",
     "render_table",
+    "run_cells",
+    "run_fig3_shards",
+    "run_ftl_shards",
     "run_ftl_synthetic",
+    "run_hotcold_shards",
     "run_noftl_synthetic",
     "run_tpcc_experiment",
     "save_report",

@@ -53,6 +53,8 @@ class TPCCExperimentConfig:
             so its operation numbers count from the start of the measured
             run (``None`` keeps the device fault-free and bit-identical to
             runs predating fault injection).
+        shards: worker-process budget when this config is run as part of
+            a multi-cell command (see :mod:`repro.bench.sharding`).
     """
 
     name: str
@@ -75,6 +77,10 @@ class TPCCExperimentConfig:
     initial_bad_block_rate: float = 0.0
     device_seed: int = 0
     fault_plan: "FaultPlan | None" = None
+    #: worker processes for multi-cell experiment commands (1 = sequential;
+    #: each cell owns its device, so results are identical either way —
+    #: see :mod:`repro.bench.sharding`)
+    shards: int = 1
 
     def with_budget(
         self, num_transactions: int | None = None, duration_us: float | None = None

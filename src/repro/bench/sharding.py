@@ -1,0 +1,210 @@
+"""Sharded parallel execution of independent simulation cells.
+
+The simulator's natural unit of parallelism is the *experiment cell*: one
+complete stack (flash device + regions or FTL + workload driver) whose
+dies nobody else touches.  The Figure 3 comparison is two such cells
+(traditional and regions), the hot/cold ablation is two (mixed and
+separated), and the FTL motivation experiment is five (three FTL stacks
+plus two NoFTL placements).  Because a cell owns its entire device,
+partitioning by cell *is* partitioning by die set: no flash command ever
+crosses a shard boundary, the workload is partition-closed by
+construction, and the sharded run computes bit-identical per-cell results.
+
+:func:`run_cells` distributes cells over ``multiprocessing`` workers.
+The *spawn* start method is used deliberately: every child rebuilds all
+simulator state from the pickled cell spec alone, inheriting nothing from
+the parent — which is exactly the determinism contract the equivalence
+tests pin.  ``shards == 1`` (the default everywhere) runs the cells
+sequentially in process; that path is the reference the sharded-equality
+tests and the CI smoke job compare against.
+
+:func:`merge_metrics_docs` is the deterministic merge step: it reassembles
+per-cell ``repro.obs/v1`` documents into the single document the
+sequential path emits.  On a partition-closed workload the per-cell
+config names are disjoint, so the merge is a pure order-preserving union;
+colliding numeric sections (shards reporting slices of one logical
+config) are summed leaf-wise.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.bench.experiment import TPCCExperimentConfig, TPCCExperimentResult, run_tpcc_experiment
+from repro.bench.synthetic import SyntheticConfig, SyntheticResult, run_ftl_synthetic, run_noftl_synthetic
+
+
+@dataclass(frozen=True)
+class ShardCell:
+    """One independently simulable cell: a label plus a picklable call.
+
+    ``fn`` must be a module-level callable and ``args`` picklable — the
+    spawn start method rebuilds both by import in the worker process.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    args: tuple[Any, ...] = ()
+
+
+def run_cells(cells: Iterable[ShardCell], shards: int) -> list[Any]:
+    """Run every cell; return results in cell order regardless of finish order.
+
+    ``shards == 1`` (or a single cell) runs sequentially in this process —
+    the bit-identical baseline.  ``shards > 1`` fans the cells out over
+    ``min(shards, len(cells))`` spawn workers; collecting results by
+    submission order keeps the output deterministic even though cells
+    finish in any order.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    todo = list(cells)
+    if shards == 1 or len(todo) <= 1:
+        return [cell.fn(*cell.args) for cell in todo]
+    ctx = multiprocessing.get_context("spawn")
+    with ctx.Pool(processes=min(shards, len(todo))) as pool:
+        pending = [pool.apply_async(cell.fn, cell.args) for cell in todo]
+        return [handle.get() for handle in pending]
+
+
+# ----------------------------------------------------------------------
+# Cell lists for the three experiment commands
+# ----------------------------------------------------------------------
+
+def fig3_cells(
+    traditional: TPCCExperimentConfig, regions: TPCCExperimentConfig
+) -> list[ShardCell]:
+    """The Figure 3 comparison as two independent cells."""
+    return [
+        ShardCell(traditional.name, run_tpcc_experiment, (traditional,)),
+        ShardCell(regions.name, run_tpcc_experiment, (regions,)),
+    ]
+
+
+def run_fig3_shards(
+    traditional: TPCCExperimentConfig, regions: TPCCExperimentConfig
+) -> tuple[TPCCExperimentResult, TPCCExperimentResult]:
+    """Run both Figure 3 cells, ``traditional.shards`` at a time."""
+    first, second = run_cells(fig3_cells(traditional, regions), traditional.shards)
+    return first, second
+
+
+def hotcold_cells(config: SyntheticConfig) -> list[ShardCell]:
+    """The hot/cold ablation as two independent cells."""
+    return [
+        ShardCell("mixed", run_noftl_synthetic, (config, False)),
+        ShardCell("separated", run_noftl_synthetic, (config, True)),
+    ]
+
+
+def run_hotcold_shards(config: SyntheticConfig) -> tuple[SyntheticResult, SyntheticResult]:
+    """Run the mixed and separated cells, ``config.shards`` at a time."""
+    mixed, separated = run_cells(hotcold_cells(config), config.shards)
+    return mixed, separated
+
+
+def ftl_cells(config: SyntheticConfig) -> list[ShardCell]:
+    """The FTL-vs-NoFTL experiment as five independent cells."""
+    return [
+        ShardCell("ftl-page", run_ftl_synthetic, (config, "page")),
+        ShardCell("ftl-dftl", run_ftl_synthetic, (config, "dftl", 256)),
+        ShardCell("ftl-hotcold", run_ftl_synthetic, (config, "hotcold")),
+        ShardCell("noftl-mixed", run_noftl_synthetic, (config, False)),
+        ShardCell("noftl-regions", run_noftl_synthetic, (config, True)),
+    ]
+
+
+def run_ftl_shards(config: SyntheticConfig) -> list[SyntheticResult]:
+    """Run all five stacks, ``config.shards`` at a time, canonically named."""
+    cells = ftl_cells(config)
+    results: list[SyntheticResult] = run_cells(cells, config.shards)
+    for cell, result in zip(cells, results):
+        result.name = cell.name
+    return results
+
+
+# ----------------------------------------------------------------------
+# Deterministic document merge
+# ----------------------------------------------------------------------
+
+_ENVELOPE_KEYS = ("schema", "command", "configs")
+
+
+def merge_metrics_docs(docs: Sequence[dict]) -> dict:
+    """Merge per-cell ``repro.obs/v1`` documents into one.
+
+    All documents must share ``schema`` and ``command``; top-level extras
+    (e.g. a ``policies`` stanza) must be equal wherever repeated.  Configs
+    are unioned preserving first-appearance order, so on a
+    partition-closed workload (disjoint config names — every CLI sharding
+    path) the result equals the document the sequential path builds.  If
+    two documents carry the *same* config name, their numeric section
+    trees are summed leaf-wise (counter semantics; shards reporting
+    slices of one logical config) — non-additive values such as latency
+    means must not collide, and structural mismatches raise
+    :class:`ValueError`.
+    """
+    if not docs:
+        raise ValueError("nothing to merge: no metrics documents given")
+    schema = docs[0].get("schema")
+    command = docs[0].get("command")
+    configs: dict[str, dict] = {}
+    extras: dict[str, object] = {}
+    for doc in docs:
+        if doc.get("schema") != schema or doc.get("command") != command:
+            raise ValueError(
+                f"cannot merge documents of different runs: "
+                f"{doc.get('schema')!r}/{doc.get('command')!r} vs {schema!r}/{command!r}"
+            )
+        for key, value in doc.items():
+            if key in _ENVELOPE_KEYS:
+                continue
+            if key in extras and extras[key] != value:
+                raise ValueError(f"conflicting top-level section {key!r} across shards")
+            extras.setdefault(key, value)
+        for name, sections in doc.get("configs", {}).items():
+            if name in configs:
+                configs[name] = _merge_tree(configs[name], sections, name)
+            else:
+                configs[name] = _copy_tree(sections)
+    merged: dict = {"schema": schema, "command": command, "configs": configs}
+    merged.update(extras)
+    return merged
+
+
+def _copy_tree(tree: dict) -> dict:
+    """Deep-copy a numeric section tree (inputs stay untouched)."""
+    return {
+        key: _copy_tree(value) if isinstance(value, dict)
+        else list(value) if isinstance(value, list)
+        else value
+        for key, value in tree.items()
+    }
+
+
+def _merge_tree(a: dict, b: dict, path: str) -> dict:
+    """Sum two numeric section trees leaf-wise; mismatched shapes raise."""
+    out: dict = {}
+    for key in (*a, *(k for k in b if k not in a)):
+        where = f"{path}.{key}"
+        if key not in b:
+            value_a = a[key]
+            out[key] = _copy_tree(value_a) if isinstance(value_a, dict) else value_a
+        elif key not in a:
+            value_b = b[key]
+            out[key] = _copy_tree(value_b) if isinstance(value_b, dict) else value_b
+        else:
+            value_a, value_b = a[key], b[key]
+            if isinstance(value_a, dict) and isinstance(value_b, dict):
+                out[key] = _merge_tree(value_a, value_b, where)
+            elif isinstance(value_a, list) and isinstance(value_b, list):
+                if len(value_a) != len(value_b):
+                    raise ValueError(f"cannot merge {where}: list lengths differ")
+                out[key] = [x + y for x, y in zip(value_a, value_b)]
+            elif isinstance(value_a, (int, float)) and isinstance(value_b, (int, float)):
+                out[key] = value_a + value_b
+            else:
+                raise ValueError(f"cannot merge {where}: incompatible values")
+    return out

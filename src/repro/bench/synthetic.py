@@ -86,6 +86,10 @@ class SyntheticConfig:
     initial_bad_block_rate: float = 0.0
     device_seed: int = 0
     fault_plan: object | None = None  # repro.faults.plan.FaultPlan
+    #: worker processes for multi-cell experiment commands (1 = sequential;
+    #: each cell owns its device, so results are identical either way —
+    #: see :mod:`repro.bench.sharding`)
+    shards: int = 1
 
     def geometry(self) -> FlashGeometry:
         """A small device with ``dies`` dies (2 planes, 32-page blocks)."""

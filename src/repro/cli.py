@@ -19,7 +19,9 @@ command also accepts ``--json``, which swaps the table for a validated
 save that same document next to the printed table, plus the device
 robustness knobs ``--bad-block-rate`` / ``--device-seed`` (factory bad
 blocks) and ``--fault-plan FILE.json`` (seeded fault injection armed for
-the measured window; see :mod:`repro.faults`).
+the measured window; see :mod:`repro.faults`), and ``--shards N`` to run
+their independent experiment cells across worker processes (results are
+identical to the sequential run; see :mod:`repro.bench.sharding`).
 """
 
 from __future__ import annotations
@@ -135,7 +137,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
         derive_method_placement,
         figure3_metrics_doc,
         figure3_table,
-        run_tpcc_experiment,
+        run_fig3_shards,
     )
     from repro.core import traditional_placement
     from repro.flash import paper_geometry
@@ -160,19 +162,20 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
         initial_bad_block_rate=args.bad_block_rate,
         device_seed=args.device_seed,
         fault_plan=_load_fault_plan(args),
+        shards=args.shards,
     )
     _progress(args, "deriving region placement (paper's method) ...")
     placement = derive_method_placement(config, args.transactions)
-    _progress(args, "running traditional placement ...")
-    traditional = run_tpcc_experiment(
+    how = f"across {args.shards} shards" if args.shards > 1 else "sequentially"
+    _progress(args, f"running traditional and multi-region placements {how} ...")
+    traditional, regions = run_fig3_shards(
         replace(
             config,
             name="traditional",
             placement=traditional_placement(64, gc_policy=args.gc_policy),
-        )
+        ),
+        replace(config, name="regions", placement=placement),
     )
-    _progress(args, "running multi-region placement ...")
-    regions = run_tpcc_experiment(replace(config, name="regions", placement=placement))
     _progress(args, "")
     doc = figure3_metrics_doc(traditional, regions)
     doc["policies"] = {"gc": args.gc_policy}
@@ -180,7 +183,7 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
 
 
 def _cmd_hotcold(args: argparse.Namespace) -> int:
-    from repro.bench import SyntheticConfig, render_series, run_noftl_synthetic
+    from repro.bench import SyntheticConfig, merge_metrics_docs, render_series, run_hotcold_shards
     from repro.obs.export import metrics_doc
 
     config = SyntheticConfig(
@@ -190,29 +193,27 @@ def _cmd_hotcold(args: argparse.Namespace) -> int:
         initial_bad_block_rate=args.bad_block_rate,
         device_seed=args.device_seed,
         fault_plan=_load_fault_plan(args),
+        shards=args.shards,
     )
-    mixed = run_noftl_synthetic(config, separated=False)
-    separated = run_noftl_synthetic(config, separated=True)
+    mixed, separated = run_hotcold_shards(config)
     text = render_series(
         "Hot/cold separation (synthetic, 8 dies, 70% utilization)",
         ["placement", "GC copybacks", "GC erases", "WA", "writes/s"],
         [mixed.row(), separated.row()],
     )
-    doc = metrics_doc(
-        "hotcold",
-        {mixed.name: mixed.metrics(), separated.name: separated.metrics()},
-        policies={"gc": args.gc_policy, "wl": args.wl_policy},
-    )
+    doc = merge_metrics_docs([
+        metrics_doc(
+            "hotcold",
+            {result.name: result.metrics()},
+            policies={"gc": args.gc_policy, "wl": args.wl_policy},
+        )
+        for result in (mixed, separated)
+    ])
     return _emit(args, doc, text)
 
 
 def _cmd_ftl(args: argparse.Namespace) -> int:
-    from repro.bench import (
-        SyntheticConfig,
-        render_series,
-        run_ftl_synthetic,
-        run_noftl_synthetic,
-    )
+    from repro.bench import SyntheticConfig, merge_metrics_docs, render_series, run_ftl_shards
     from repro.obs.export import metrics_doc
 
     config = SyntheticConfig(
@@ -223,26 +224,22 @@ def _cmd_ftl(args: argparse.Namespace) -> int:
         initial_bad_block_rate=args.bad_block_rate,
         device_seed=args.device_seed,
         fault_plan=_load_fault_plan(args),
+        shards=args.shards,
     )
-    results = [
-        run_ftl_synthetic(config, ftl="page"),
-        run_ftl_synthetic(config, ftl="dftl", cmt_entries=256),
-        run_ftl_synthetic(config, ftl="hotcold"),
-        run_noftl_synthetic(config, separated=False),
-        run_noftl_synthetic(config, separated=True),
-    ]
-    results[3].name = "noftl-mixed"
-    results[4].name = "noftl-regions"
+    results = run_ftl_shards(config)
     text = render_series(
         "FTL vs NoFTL (synthetic skewed writes)",
         ["stack", "GC copybacks", "GC erases", "WA", "writes/s"],
         [r.row() for r in results],
     )
-    doc = metrics_doc(
-        "ftl",
-        {r.name: r.metrics() for r in results},
-        policies={"gc": args.gc_policy, "wl": args.wl_policy},
-    )
+    doc = merge_metrics_docs([
+        metrics_doc(
+            "ftl",
+            {result.name: result.metrics()},
+            policies={"gc": args.gc_policy, "wl": args.wl_policy},
+        )
+        for result in results
+    ])
     return _emit(args, doc, text)
 
 
@@ -392,6 +389,15 @@ def build_parser() -> argparse.ArgumentParser:
         default="coldest_first",
         help="wear-leveling policy from the repro.policies registry (default: coldest_first)",
     )
+    shard_opts = argparse.ArgumentParser(add_help=False)
+    shard_opts.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="N",
+        help="run the command's independent experiment cells across N worker "
+        "processes (default 1 = sequential; results are identical either way)",
+    )
 
     info = sub.add_parser("info", parents=[common], help="package and simulator defaults")
     info.set_defaults(fn=_cmd_info)
@@ -402,7 +408,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     fig3 = sub.add_parser(
         "fig3",
-        parents=[common, metrics_out, device_opts, gc_opts],
+        parents=[common, metrics_out, device_opts, gc_opts, shard_opts],
         help="run the Figure 3 comparison",
     )
     fig3.add_argument("--transactions", type=int, default=3000)
@@ -413,7 +419,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     hotcold = sub.add_parser(
         "hotcold",
-        parents=[common, metrics_out, device_opts, gc_opts, wl_opts],
+        parents=[common, metrics_out, device_opts, gc_opts, wl_opts, shard_opts],
         help="hot/cold separation ablation",
     )
     hotcold.add_argument("--writes", type=int, default=15_000)
@@ -421,7 +427,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     ftl = sub.add_parser(
         "ftl",
-        parents=[common, metrics_out, device_opts, gc_opts, wl_opts],
+        parents=[common, metrics_out, device_opts, gc_opts, wl_opts, shard_opts],
         help="FTL vs NoFTL motivation experiment",
     )
     ftl.add_argument("--writes", type=int, default=10_000)

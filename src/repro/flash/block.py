@@ -1,4 +1,4 @@
-"""Erase-block and page state machines.
+"""Erase-block and page state machines (flat array-backed).
 
 The chip enforces exactly the rules real NAND enforces and nothing more:
 
@@ -12,10 +12,23 @@ logically valid or invalid.  Valid/invalid bookkeeping is address-management
 state and therefore belongs to whoever performs the address translation —
 the on-device FTL in the baseline (:mod:`repro.ftl`) or the DBMS itself
 under NoFTL (:mod:`repro.core`).
+
+**Storage layout.**  Page state is kept in flat parallel columns rather
+than one Python object per page: payloads in a list, OOB metadata fields
+(``lpn``, ``seq``, ``obj_id``) in integer arrays with ``-1`` as the "not
+set" sentinel, and free-form ``extra`` annotations in a sparse dict (only
+atomic-write batches use them).  Because NAND programs pages strictly in
+order and an erase wipes the whole block, "page ``p`` is programmed" is
+exactly ``p < write_pointer`` — no per-page flag is stored.  A
+:class:`PageMetadata` record is materialised only when a page is *read*;
+the write path (see :meth:`Block.program_packed`) never allocates one.
+At paper scale (64 dies × thousands of blocks × 32+ pages) this replaces
+millions of per-page objects with a handful of arrays per block.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -44,27 +57,43 @@ class PageMetadata:
     extra: dict[str, Any] = field(default_factory=dict)
 
 
-@dataclass
-class _Page:
-    """One flash page: programmed flag, payload and OOB metadata."""
-
-    programmed: bool = False
-    data: bytes = b""
-    metadata: PageMetadata | None = None
-
-
 class Block:
     """One erase block of ``pages_per_block`` pages.
 
     Tracks the write pointer (next page that may legally be programmed),
     the erase count and the bad flag.  All latency accounting lives in the
-    device layer; the block is pure state.
+    device layer; the block is pure state, held as flat per-page columns
+    (see the module docstring for the layout).
     """
+
+    __slots__ = (
+        "_data",
+        "_lpn",
+        "_seq",
+        "_obj",
+        "_extra",
+        "_has_meta",
+        "_write_pointer",
+        "_erase_count",
+        "_reads_since_erase",
+        "_max_pe_cycles",
+        "_bad",
+    )
 
     def __init__(self, pages_per_block: int, max_pe_cycles: int) -> None:
         if pages_per_block <= 0:
             raise ValueError("pages_per_block must be positive")
-        self._pages: list[_Page] = [_Page() for _ in range(pages_per_block)]
+        #: page payloads; ``None`` for never/erased pages
+        self._data: list[bytes | None] = [None] * pages_per_block
+        #: OOB columns, ``-1`` = field not set (``None`` in PageMetadata)
+        self._lpn = array("q", bytes(8 * pages_per_block))
+        self._seq = array("q", bytes(8 * pages_per_block))
+        self._obj = array("q", bytes(8 * pages_per_block))
+        #: whether the page carries any OOB record at all (programmed with
+        #: ``metadata=None`` must read back as ``None``, not an empty record)
+        self._has_meta = bytearray(pages_per_block)
+        #: sparse free-form annotations: page -> dict (atomic batches only)
+        self._extra: dict[int, dict[str, Any]] = {}
         self._write_pointer = 0
         self._erase_count = 0
         self._reads_since_erase = 0
@@ -77,7 +106,7 @@ class Block:
     @property
     def pages_per_block(self) -> int:
         """Number of pages in this block."""
-        return len(self._pages)
+        return len(self._data)
 
     @property
     def write_pointer(self) -> int:
@@ -102,7 +131,7 @@ class Block:
     @property
     def is_full(self) -> bool:
         """Whether every page has been programmed since the last erase."""
-        return self._write_pointer >= len(self._pages)
+        return self._write_pointer >= len(self._data)
 
     @property
     def is_erased(self) -> bool:
@@ -111,7 +140,11 @@ class Block:
 
     def is_programmed(self, page: int) -> bool:
         """Whether ``page`` currently holds programmed content."""
-        return self._pages[page].programmed
+        if not 0 <= page < len(self._data):
+            raise IndexError(f"page {page} out of range")
+        # sequential programming + whole-block erase: programmed == below
+        # the write pointer; no per-page flag exists
+        return page < self._write_pointer
 
     # ------------------------------------------------------------------
     # Commands (state transitions only; timing handled by the device)
@@ -123,28 +156,116 @@ class Block:
         """
         if self._bad:
             raise BadBlockError("cannot program a bad block")
-        cell = self._pages[page]
-        if cell.programmed:
+        if page < self._write_pointer:
             raise ProgramError(f"page {page} already programmed since last erase")
         if page != self._write_pointer:
             raise ProgramError(
                 f"out-of-order program: page {page}, expected page {self._write_pointer} "
                 "(NAND requires sequential programming within a block)"
             )
-        cell.programmed = True
-        cell.data = data
-        cell.metadata = metadata
+        self._data[page] = data
+        if metadata is None:
+            self._has_meta[page] = 0
+        else:
+            self._has_meta[page] = 1
+            self._lpn[page] = -1 if metadata.lpn is None else metadata.lpn
+            self._seq[page] = metadata.seq
+            self._obj[page] = -1 if metadata.obj_id is None else metadata.obj_id
+            if metadata.extra:
+                self._extra[page] = metadata.extra
+            else:
+                self._extra.pop(page, None)
         self._write_pointer += 1
+
+    def program_packed(
+        self, page: int, data: bytes, lpn: int, seq: int, obj_id: int
+    ) -> None:
+        """Hot-path program: OOB fields as raw ints, no PageMetadata object.
+
+        ``-1`` encodes "not set" for ``lpn``/``obj_id`` (the columns'
+        sentinel).  Behaviour is identical to :meth:`program` with an
+        equivalent :class:`PageMetadata` carrying no ``extra``.
+        """
+        if self._bad:
+            raise BadBlockError("cannot program a bad block")
+        if page != self._write_pointer:
+            if page < self._write_pointer:
+                raise ProgramError(f"page {page} already programmed since last erase")
+            raise ProgramError(
+                f"out-of-order program: page {page}, expected page {self._write_pointer} "
+                "(NAND requires sequential programming within a block)"
+            )
+        self._data[page] = data
+        self._has_meta[page] = 1
+        self._lpn[page] = lpn
+        self._seq[page] = seq
+        self._obj[page] = obj_id
+        self._extra.pop(page, None)
+        self._write_pointer += 1
+
+    def _metadata_at(self, page: int) -> PageMetadata | None:
+        """Materialise the OOB record of a programmed page (or ``None``)."""
+        if not self._has_meta[page]:
+            return None
+        lpn = self._lpn[page]
+        obj = self._obj[page]
+        extra = self._extra.get(page)
+        return PageMetadata(
+            lpn=None if lpn < 0 else lpn,
+            seq=self._seq[page],
+            obj_id=None if obj < 0 else obj,
+            extra={} if extra is None else extra,
+        )
 
     def read(self, page: int) -> tuple[bytes, PageMetadata | None]:
         """Return ``(data, metadata)`` of a programmed page."""
         if self._bad:
             raise BadBlockError("cannot read a bad block")
-        cell = self._pages[page]
-        if not cell.programmed:
+        if page >= self._write_pointer or page < 0:
             raise ReadError(f"page {page} has not been programmed")
         self._reads_since_erase += 1
-        return cell.data, cell.metadata
+        data = self._data[page]
+        assert data is not None
+        return data, self._metadata_at(page)
+
+    def copy_page_to(self, page: int, dst: "Block", dst_page: int) -> None:
+        """On-die copyback transfer: move ``page``'s columns to ``dst``.
+
+        The destination must obey the same programming rules as
+        :meth:`program`; the OOB record travels unchanged (column copy, no
+        :class:`PageMetadata` materialisation).  Counts as one read on this
+        block, mirroring :meth:`read`'s read-disturb accounting.
+        """
+        if self._bad:
+            raise BadBlockError("cannot read a bad block")
+        if page >= self._write_pointer or page < 0:
+            raise ReadError(f"page {page} has not been programmed")
+        # the source read "happens" before the destination program, exactly
+        # as in the read+program decomposition: a failed program still
+        # leaves the read-disturb counter incremented
+        self._reads_since_erase += 1
+        if dst._bad:
+            raise BadBlockError("cannot program a bad block")
+        if dst_page != dst._write_pointer:
+            if dst_page < dst._write_pointer:
+                raise ProgramError(f"page {dst_page} already programmed since last erase")
+            raise ProgramError(
+                f"out-of-order program: page {dst_page}, expected page {dst._write_pointer} "
+                "(NAND requires sequential programming within a block)"
+            )
+        dst._data[dst_page] = self._data[page]
+        has = self._has_meta[page]
+        dst._has_meta[dst_page] = has
+        if has:
+            dst._lpn[dst_page] = self._lpn[page]
+            dst._seq[dst_page] = self._seq[page]
+            dst._obj[dst_page] = self._obj[page]
+            extra = self._extra.get(page)
+            if extra is not None:
+                dst._extra[dst_page] = extra
+            else:
+                dst._extra.pop(dst_page, None)
+        dst._write_pointer += 1
 
     def erase(self) -> None:
         """Erase the whole block, incrementing the P/E cycle count.
@@ -157,10 +278,13 @@ class Block:
         """
         if self._bad:
             raise EraseError("cannot erase a bad block")
-        for cell in self._pages:
-            cell.programmed = False
-            cell.data = b""
-            cell.metadata = None
+        # drop payload references (frees the page images); the OOB integer
+        # columns are sentinel-free garbage until re-programmed and are
+        # unreachable through the write pointer
+        data = self._data
+        for i in range(self._write_pointer):
+            data[i] = None
+        self._extra.clear()
         self._write_pointer = 0
         self._erase_count += 1
         self._reads_since_erase = 0

@@ -107,6 +107,18 @@ class FlashDevice:
             ResourceTimeline(name=f"ch{i}") for i in range(geometry.channels)
         ]
         self.stats = FlashStats(dies=geometry.dies)
+        # hot-path constants: the packed command variants run per simulated
+        # page write, so the per-call property/bus-math cost is pinned here
+        self._die_channels: list[ResourceTimeline] = [
+            self.channels[geometry.channel_of_die(d)] for d in range(geometry.dies)
+        ]
+        self._die_timelines: list[ResourceTimeline] = [d.timeline for d in self.dies]
+        self._die_blocks: list[list[Block]] = [d.blocks for d in self.dies]
+        self._page_size = geometry.page_size
+        self._page_bus_us = self.timing.bus_us(geometry.page_size, geometry.page_size)
+        self._program_us = self.timing.program_us
+        self._erase_us = self.timing.erase_us
+        self._copyback_us = self.timing.copyback_us
         self._seq = 0
         if initial_bad_block_rate > 0.0:
             rng = random.Random(seed)
@@ -273,6 +285,80 @@ class FlashDevice:
                              start_us=start, end_us=end)
         self.clock.advance_to(end)
         return CommandResult(start_us=start, end_us=end)
+
+    # ------------------------------------------------------------------
+    # Packed hot-path variants
+    # ------------------------------------------------------------------
+    # The mapping engine issues millions of page operations per experiment
+    # using addresses it constructed itself (valid by construction).  These
+    # variants take raw integer coordinates, skip address re-validation and
+    # the CommandResult allocation, and return only the completion time.
+    # Callers MUST use the full commands above whenever a fault injector or
+    # an event bus is attached — the packed variants run neither hook.
+
+    def program_page_packed(
+        self, die: int, block: int, page: int, data: bytes,
+        lpn: int, seq: int, obj_id: int, at: float,
+    ) -> float:
+        """PROGRAM PAGE on pre-validated coordinates; returns completion time.
+
+        Equivalent to :meth:`program_page` with
+        ``PageMetadata(lpn=lpn, seq=seq, obj_id=obj_id)`` (``-1`` encodes an
+        unset ``lpn``/``obj_id``) when no faults/events are attached.
+        """
+        if type(data) is not bytes:
+            if not isinstance(data, (bytearray, memoryview)):
+                raise DataError(
+                    f"page payload must be bytes-like, got {type(data).__name__}"
+                )
+            data = bytes(data)
+        nbytes = len(data)
+        if nbytes > self._page_size:
+            raise DataError(
+                f"payload of {nbytes} bytes exceeds page size {self._page_size}"
+            )
+        __, xfer_done = self._die_channels[die].reserve(at, self._page_bus_us)
+        __, end = self._die_timelines[die].reserve(xfer_done, self._program_us)
+        self._die_blocks[die][block].program_packed(page, data, lpn, seq, obj_id)
+        self.stats.record_program(die, nbytes, end - at)
+        clock = self.clock
+        if end > clock._now:
+            clock._now = end
+        return end
+
+    def copyback_packed(
+        self, die: int, src_block: int, src_page: int,
+        dst_block: int, dst_page: int, at: float,
+    ) -> float:
+        """COPYBACK on pre-validated coordinates; returns completion time.
+
+        Carries the source OOB record unchanged (the only way the engine
+        ever uses copyback).  Raises
+        :class:`~repro.flash.errors.CopybackError` under strict plane
+        rules, exactly like :meth:`copyback`.
+        """
+        if self.strict_plane_copyback:
+            src_plane = self.geometry.plane_of_block(src_block)
+            dst_plane = self.geometry.plane_of_block(dst_block)
+            if src_plane != dst_plane:
+                raise CopybackError(
+                    f"strict plane copyback: die {die} block {src_block} (plane {src_plane})"
+                    f" -> block {dst_block} (plane {dst_plane})"
+                )
+        blocks = self._die_blocks[die]
+        blocks[src_block].copy_page_to(src_page, blocks[dst_block], dst_page)
+        __, end = self._die_timelines[die].reserve(at, self._copyback_us)
+        self.stats.record_copyback(die)
+        self.clock.advance_to(end)
+        return end
+
+    def erase_block_packed(self, die: int, block: int, at: float) -> float:
+        """ERASE BLOCK on pre-validated coordinates; returns completion time."""
+        self._die_blocks[die][block].erase()
+        __, end = self._die_timelines[die].reserve(at, self._erase_us)
+        self.stats.record_erase(die)
+        self.clock.advance_to(end)
+        return end
 
     # ------------------------------------------------------------------
     # Multi-plane operations

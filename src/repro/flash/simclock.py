@@ -15,7 +15,7 @@ staying simple and fast.
 from __future__ import annotations
 
 import bisect
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 
 class SimClock:
@@ -25,6 +25,8 @@ class SimClock:
     a no-op.  It records the furthest point in virtual time any caller has
     reached, which the driver uses as the experiment's wall-clock.
     """
+
+    __slots__ = ("_now",)
 
     def __init__(self, start: float = 0.0) -> None:
         self._now = float(start)
@@ -56,7 +58,7 @@ class SimClock:
 _PRUNE_HORIZON_US = 10_000_000.0
 
 
-@dataclass
+@dataclass(slots=True)
 class ResourceTimeline:
     """Occupancy timeline of one serially-used resource (a die or channel).
 
@@ -72,9 +74,8 @@ class ResourceTimeline:
 
     name: str = ""
     busy_us: float = 0.0
-
-    def __post_init__(self) -> None:
-        self._intervals: list[tuple[float, float]] = []  # sorted, disjoint
+    #: sorted, disjoint reservation intervals
+    _intervals: list[tuple[float, float]] = field(default_factory=list, repr=False)
 
     @property
     def available_at(self) -> float:
@@ -88,7 +89,18 @@ class ResourceTimeline:
         fits."""
         if duration < 0:
             raise ValueError("duration must be >= 0")
-        self._prune(earliest)
+        intervals = self._intervals
+        if intervals and intervals[0][1] < earliest - _PRUNE_HORIZON_US:
+            self._prune(earliest)
+        # append fast path: a request issued at or after the last known
+        # reservation cannot fill any gap, so it starts immediately — the
+        # common case for a caller whose clock tracks the resource.  (The
+        # gap-filling search below returns exactly `earliest` here.)
+        if duration > 0.0 and (not intervals or earliest >= intervals[-1][1]):
+            end = earliest + duration
+            intervals.append((earliest, end))
+            self.busy_us += duration
+            return earliest, end
         start = self._find_gap(earliest, duration)
         end = start + duration
         if duration > 0:

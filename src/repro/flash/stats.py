@@ -8,6 +8,7 @@ management layers (FTL / NoFTL) keep their own higher-level counters on top.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass, field
 
 
@@ -16,7 +17,7 @@ from dataclasses import dataclass, field
 _BUCKET_BOUNDS: tuple[float, ...] = tuple(10 ** (exp / 10.0) for exp in range(0, 71))
 
 
-@dataclass
+@dataclass(slots=True)
 class LatencyAccumulator:
     """Streaming latency statistics: mean/min/max plus a log histogram.
 
@@ -40,13 +41,11 @@ class LatencyAccumulator:
             self.min_us = latency_us
         if latency_us > self.max_us:
             self.max_us = latency_us
-        self.buckets[self._bucket(latency_us)] += 1
+        self.buckets[bisect_right(_BUCKET_BOUNDS, latency_us)] += 1
 
     @staticmethod
     def _bucket(latency_us: float) -> int:
-        import bisect
-
-        return bisect.bisect_right(_BUCKET_BOUNDS, latency_us)
+        return bisect_right(_BUCKET_BOUNDS, latency_us)
 
     @property
     def mean_us(self) -> float:
@@ -116,7 +115,7 @@ def percentile_from_buckets(buckets: list[int], fraction: float) -> float:
     return _BUCKET_BOUNDS[-1]
 
 
-@dataclass
+@dataclass(slots=True)
 class FlashStats:
     """Device-level operation counters.
 

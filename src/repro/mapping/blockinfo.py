@@ -1,4 +1,4 @@
-"""Valid-page bookkeeping for flash management layers.
+"""Valid-page bookkeeping for flash management layers (flat array-backed).
 
 Real NAND does not know which of its programmed pages still hold live data —
 that knowledge belongs to whoever owns the address translation.  Both
@@ -17,9 +17,17 @@ only where the paper says they differ (who runs it, with what knowledge, and
 over which dies).
 
 Everything here sits on the engine's per-write hot path, so the bookkeeping
-is **incremental**:
+is **incremental** and **columnar**:
 
-* page validity is an int bitmask with a maintained ``valid_count`` —
+* all per-block fields live in flat parallel arrays owned by the die
+  (:class:`_BlockColumns`): lifecycle codes in a ``bytearray``, valid
+  bitmasks in a plain list (they are arbitrary-precision ints), valid/
+  written counts in ``array('q')`` and last-write stamps in ``array('d')``.
+  A :class:`BlockInfo` is a *view* — (columns, index) — so the policy/test
+  API is unchanged while hot paths index the arrays directly via
+  :meth:`DieBookkeeping.note_write_packed` /
+  :meth:`DieBookkeeping.invalidate_packed`;
+* page validity is an int bitmask with a maintained valid count —
   no per-query popcount over a Python list;
 * the GC candidate set (FULL blocks with at least one invalid page) is
   maintained on state transitions, bucketed by invalid-page count, giving
@@ -38,8 +46,8 @@ property tests can prove the two never diverge.
 from __future__ import annotations
 
 import enum
+from array import array
 from collections.abc import Iterator
-from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
@@ -55,15 +63,54 @@ class BlockState(enum.Enum):
     BAD = "bad"  #: retired
 
 
+#: integer codes of :class:`BlockState` as stored in the state column
+_FREE, _OPEN, _FULL, _BAD = 0, 1, 2, 3
+_STATE_FROM_CODE: tuple[BlockState, BlockState, BlockState, BlockState] = (
+    BlockState.FREE,
+    BlockState.OPEN,
+    BlockState.FULL,
+    BlockState.BAD,
+)
+_CODE_FROM_STATE: dict[BlockState, int] = {
+    state: code for code, state in enumerate(_STATE_FROM_CODE)
+}
+
+
 class BookkeepingError(Exception):
     """Inconsistent valid-page bookkeeping (a management-layer bug)."""
 
 
-@dataclass(slots=True)
+class _BlockColumns:
+    """Flat per-block storage for one die (struct-of-arrays).
+
+    One instance backs every :class:`BlockInfo` view of a die; a standalone
+    ``BlockInfo`` (unit tests, ad-hoc construction) owns a private
+    single-row instance.
+    """
+
+    __slots__ = ("pages_per_block", "state", "valid_mask", "valid_count",
+                 "written", "last_write_us")
+
+    def __init__(self, rows: int, pages_per_block: int) -> None:
+        self.pages_per_block = pages_per_block
+        self.state = bytearray(rows)  # zero-filled == all FREE
+        #: bitmasks are arbitrary-precision ints (blocks can exceed 64 pages)
+        self.valid_mask: list[int] = [0] * rows
+        self.valid_count = array("q", bytes(8 * rows))
+        self.written = array("q", bytes(8 * rows))
+        self.last_write_us = array("d", bytes(8 * rows))
+
+
 class BlockInfo:
     """Management-layer view of one erase block.
 
-    Attributes:
+    A (columns, row) view over its die's :class:`_BlockColumns`; field reads
+    and writes go straight to the arrays, so views taken at different times
+    always agree.  Constructing one directly (``BlockInfo(die=..,
+    block=.., pages_per_block=..)``) makes a standalone block with private
+    single-row columns — the form unit tests and policy fixtures use.
+
+    Attributes (all backed by the columns):
         die: global die index.
         block: die-local block index.
         state: lifecycle state.
@@ -76,65 +123,182 @@ class BlockInfo:
             block (used by cost-benefit GC as the block's "age").
     """
 
-    die: int
-    block: int
-    pages_per_block: int
-    state: BlockState = BlockState.FREE
-    valid_mask: int = 0
-    valid_count: int = 0
-    written: int = 0
-    last_write_us: float = 0.0
-    #: owning :class:`DieBookkeeping`, notified of GC-relevant transitions
-    _owner: "DieBookkeeping | None" = field(
-        default=None, repr=False, compare=False
-    )
+    __slots__ = ("die", "block", "_cols", "_row", "_owner")
 
+    def __init__(
+        self,
+        die: int,
+        block: int,
+        pages_per_block: int,
+        state: BlockState = BlockState.FREE,
+        valid_mask: int = 0,
+        valid_count: int = 0,
+        written: int = 0,
+        last_write_us: float = 0.0,
+    ) -> None:
+        self.die = die
+        self.block = block
+        self._owner: DieBookkeeping | None = None
+        cols = _BlockColumns(1, pages_per_block)
+        self._cols = cols
+        self._row = 0
+        cols.state[0] = _CODE_FROM_STATE[state]
+        cols.valid_mask[0] = valid_mask
+        cols.valid_count[0] = valid_count
+        cols.written[0] = written
+        cols.last_write_us[0] = last_write_us
+
+    @classmethod
+    def _view(
+        cls, die: int, block: int, owner: "DieBookkeeping",
+        cols: _BlockColumns, row: int,
+    ) -> "BlockInfo":
+        """Bind a view onto shared die columns (no private allocation)."""
+        self = object.__new__(cls)
+        self.die = die
+        self.block = block
+        self._owner = owner
+        self._cols = cols
+        self._row = row
+        return self
+
+    # ------------------------------------------------------------------
+    # Column-backed fields
+    # ------------------------------------------------------------------
+    @property
+    def pages_per_block(self) -> int:
+        """Number of pages in this block."""
+        return self._cols.pages_per_block
+
+    @property
+    def state(self) -> BlockState:
+        """Lifecycle state."""
+        return _STATE_FROM_CODE[self._cols.state[self._row]]
+
+    @state.setter
+    def state(self, value: BlockState) -> None:
+        self._cols.state[self._row] = _CODE_FROM_STATE[value]
+
+    @property
+    def valid_mask(self) -> int:
+        """Per-page validity bitmask."""
+        return self._cols.valid_mask[self._row]
+
+    @valid_mask.setter
+    def valid_mask(self, value: int) -> None:
+        self._cols.valid_mask[self._row] = value
+
+    @property
+    def valid_count(self) -> int:
+        """Number of set bits in ``valid_mask`` (maintained, not counted)."""
+        return self._cols.valid_count[self._row]
+
+    @valid_count.setter
+    def valid_count(self, value: int) -> None:
+        self._cols.valid_count[self._row] = value
+
+    @property
+    def written(self) -> int:
+        """Pages programmed since the last erase."""
+        return self._cols.written[self._row]
+
+    @written.setter
+    def written(self, value: int) -> None:
+        self._cols.written[self._row] = value
+
+    @property
+    def last_write_us(self) -> float:
+        """Virtual time of the most recent program into this block."""
+        return self._cols.last_write_us[self._row]
+
+    @last_write_us.setter
+    def last_write_us(self, value: float) -> None:
+        self._cols.last_write_us[self._row] = value
+
+    def __repr__(self) -> str:
+        return (
+            f"BlockInfo(die={self.die}, block={self.block}, "
+            f"pages_per_block={self.pages_per_block}, state={self.state}, "
+            f"valid_mask={self.valid_mask}, valid_count={self.valid_count}, "
+            f"written={self.written}, last_write_us={self.last_write_us})"
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, BlockInfo):
+            return NotImplemented
+        return (
+            self.die == other.die
+            and self.block == other.block
+            and self.pages_per_block == other.pages_per_block
+            and self.state is other.state
+            and self.valid_mask == other.valid_mask
+            and self.valid_count == other.valid_count
+            and self.written == other.written
+            and self.last_write_us == other.last_write_us
+        )
+
+    # value-equal like the former dataclass, therefore unhashable
+    __hash__ = None  # type: ignore[assignment]
+
+    # ------------------------------------------------------------------
+    # Derived state
+    # ------------------------------------------------------------------
     @property
     def invalid_count(self) -> int:
         """Number of dead (written but superseded) pages."""
-        return self.written - self.valid_count
+        row = self._row
+        return self._cols.written[row] - self._cols.valid_count[row]
 
     @property
     def is_full(self) -> bool:
         """Whether every page has been written."""
-        return self.written >= self.pages_per_block
+        return self._cols.written[self._row] >= self._cols.pages_per_block
 
     def is_valid(self, page: int) -> bool:
         """Whether ``page`` currently holds live data."""
-        return bool(self.valid_mask >> page & 1)
+        return bool(self._cols.valid_mask[self._row] >> page & 1)
 
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
     def note_write(self, page: int, now_us: float) -> None:
         """Record that ``page`` was just programmed with live data."""
-        if page != self.written:
+        cols = self._cols
+        row = self._row
+        if page != cols.written[row]:
             raise BookkeepingError(
-                f"block d{self.die}/b{self.block}: wrote page {page}, expected {self.written}"
+                f"block d{self.die}/b{self.block}: wrote page {page}, "
+                f"expected {cols.written[row]}"
             )
-        if self.valid_mask >> page & 1:
+        if cols.valid_mask[row] >> page & 1:
             raise BookkeepingError(f"page {page} already valid in d{self.die}/b{self.block}")
-        self.valid_mask |= 1 << page
-        self.valid_count += 1
-        self.written += 1
-        self.last_write_us = now_us
-        if self.written >= self.pages_per_block:
-            self.state = BlockState.FULL
+        cols.valid_mask[row] |= 1 << page
+        cols.valid_count[row] += 1
+        written = cols.written[row] + 1
+        cols.written[row] = written
+        cols.last_write_us[row] = now_us
+        if written >= cols.pages_per_block:
+            cols.state[row] = _FULL
             if self._owner is not None:
                 self._owner._on_block_full(self)
 
     def invalidate(self, page: int) -> None:
         """Record that the live data at ``page`` was superseded elsewhere."""
+        cols = self._cols
+        row = self._row
         bit = 1 << page
-        if not self.valid_mask & bit:
+        if not cols.valid_mask[row] & bit:
             raise BookkeepingError(
                 f"double invalidate of page {page} in d{self.die}/b{self.block}"
             )
-        self.valid_mask ^= bit
-        self.valid_count -= 1
-        if self.state is BlockState.FULL and self._owner is not None:
+        cols.valid_mask[row] ^= bit
+        cols.valid_count[row] -= 1
+        if cols.state[row] == _FULL and self._owner is not None:
             self._owner._on_full_block_invalidate(self)
 
     def valid_pages(self) -> list[int]:
         """Indices of pages that still hold live data (ascending)."""
-        mask = self.valid_mask
+        mask = self._cols.valid_mask[self._row]
         pages = []
         while mask:
             low = mask & -mask
@@ -150,18 +314,22 @@ class BlockInfo:
         ``written``/``state`` directly) keeps the owner's candidate set
         in sync — a sealed block with dead tail pages is reclaimable.
         """
-        if self.written > 0 and not self.is_full:
-            self.written = self.pages_per_block
-            self.state = BlockState.FULL
+        cols = self._cols
+        row = self._row
+        if cols.written[row] > 0 and cols.written[row] < cols.pages_per_block:
+            cols.written[row] = cols.pages_per_block
+            cols.state[row] = _FULL
             if self._owner is not None:
                 self._owner._on_block_full(self)
 
     def reset_after_erase(self) -> None:
         """Return the block to the FREE state after an erase."""
-        self.valid_mask = 0
-        self.valid_count = 0
-        self.written = 0
-        self.state = BlockState.FREE
+        cols = self._cols
+        row = self._row
+        cols.valid_mask[row] = 0
+        cols.valid_count[row] = 0
+        cols.written[row] = 0
+        cols.state[row] = _FREE
         if self._owner is not None:
             self._owner._drop_candidate(self.block)
 
@@ -169,9 +337,14 @@ class BlockInfo:
 class DieBookkeeping:
     """All block bookkeeping for one die.
 
-    Maintains the free-block pool and the GC candidate set.  The management
-    layer is responsible for calling :meth:`take_free_block` /
-    :meth:`return_erased_block` around its write frontiers and GC.
+    Owns the die's :class:`_BlockColumns` plus the free-block pool and the
+    GC candidate set; ``blocks`` holds one persistent :class:`BlockInfo`
+    view per block (row *b* == block *b*).  The management layer is
+    responsible for calling :meth:`take_free_block` /
+    :meth:`return_erased_block` around its write frontiers and GC.  Hot
+    paths mutate through :meth:`note_write_packed` /
+    :meth:`invalidate_packed`, which index the columns directly without
+    touching a view.
 
     The candidate set is kept incrementally: a block enters when it
     transitions to FULL with at least one invalid page (or, already FULL,
@@ -184,12 +357,19 @@ class DieBookkeeping:
 
     def __init__(self, die: int, blocks_per_die: int, pages_per_block: int) -> None:
         self.die = die
+        self.pages_per_block = pages_per_block
+        cols = _BlockColumns(blocks_per_die, pages_per_block)
+        self._cols = cols
+        # column aliases: hot paths (here and in the engine) index these
+        # directly instead of going through a BlockInfo view
+        self._state = cols.state
+        self._valid_mask = cols.valid_mask
+        self._valid_count = cols.valid_count
+        self._written = cols.written
+        self._last_write_us = cols.last_write_us
         self.blocks: list[BlockInfo] = [
-            BlockInfo(die=die, block=b, pages_per_block=pages_per_block)
-            for b in range(blocks_per_die)
+            BlockInfo._view(die, b, self, cols, b) for b in range(blocks_per_die)
         ]
-        for info in self.blocks:
-            info._owner = self
         # insertion-ordered free pool: O(1) membership, removal, LIFO pop.
         # Seeded high-to-low so the first pops hand out blocks 0, 1, 2, …
         self._free: dict[int, None] = dict.fromkeys(range(blocks_per_die - 1, -1, -1))
@@ -206,6 +386,48 @@ class DieBookkeeping:
     def has_reclaimable(self) -> bool:
         """O(1): does any FULL block carry at least one invalid page?"""
         return bool(self._candidate_bucket)
+
+    # ------------------------------------------------------------------
+    # Packed hot-path transitions (column-indexed, no BlockInfo views)
+    # ------------------------------------------------------------------
+    def note_write_packed(self, block: int, page: int, now_us: float) -> None:
+        """:meth:`BlockInfo.note_write` straight on the columns."""
+        written = self._written
+        if page != written[block]:
+            raise BookkeepingError(
+                f"block d{self.die}/b{block}: wrote page {page}, "
+                f"expected {written[block]}"
+            )
+        masks = self._valid_mask
+        mask = masks[block]
+        bit = 1 << page
+        if mask & bit:
+            raise BookkeepingError(f"page {page} already valid in d{self.die}/b{block}")
+        masks[block] = mask | bit
+        self._valid_count[block] += 1
+        wrote = written[block] + 1
+        written[block] = wrote
+        self._last_write_us[block] = now_us
+        if wrote >= self.pages_per_block:
+            self._state[block] = _FULL
+            invalid = wrote - self._valid_count[block]
+            if invalid > 0:
+                self._put_candidate(block, invalid)
+
+    def invalidate_packed(self, block: int, page: int) -> None:
+        """:meth:`BlockInfo.invalidate` straight on the columns."""
+        masks = self._valid_mask
+        mask = masks[block]
+        bit = 1 << page
+        if not mask & bit:
+            raise BookkeepingError(
+                f"double invalidate of page {page} in d{self.die}/b{block}"
+            )
+        masks[block] = mask ^ bit
+        count = self._valid_count[block] - 1
+        self._valid_count[block] = count
+        if self._state[block] == _FULL:
+            self._put_candidate(block, self._written[block] - count)
 
     # ------------------------------------------------------------------
     # Candidate-set maintenance (called by the owned BlockInfo records)
@@ -260,8 +482,7 @@ class DieBookkeeping:
     # ------------------------------------------------------------------
     def mark_bad(self, block: int) -> None:
         """Retire a block; it leaves the free pool permanently."""
-        info = self.blocks[block]
-        info.state = BlockState.BAD
+        self._state[block] = _BAD
         self._free.pop(block, None)
         self._drop_candidate(block)
 
@@ -280,10 +501,9 @@ class DieBookkeeping:
         while self._free:
             block = next(reversed(self._free))
             del self._free[block]
-            info = self.blocks[block]
-            if info.state is BlockState.FREE:
-                info.state = BlockState.OPEN
-                return info
+            if self._state[block] == _FREE:
+                self._state[block] = _OPEN
+                return self.blocks[block]
         raise BookkeepingError(f"die {self.die}: out of free blocks")
 
     def reset_all(self) -> None:
@@ -295,22 +515,21 @@ class DieBookkeeping:
         self._candidate_bucket.clear()
         self._buckets.clear()
         self._max_invalid = 0
-        bad = {b.block for b in self.blocks if b.state is BlockState.BAD}
+        state = self._state
         for info in self.blocks:
-            if info.block not in bad:
+            if state[info.block] != _BAD:
                 info.reset_after_erase()
         self._free = dict.fromkeys(
-            b for b in range(len(self.blocks) - 1, -1, -1) if b not in bad
+            b for b in range(len(self.blocks) - 1, -1, -1) if state[b] != _BAD
         )
 
     def take_block(self, block: int) -> BlockInfo:
         """Pop a *specific* free block (used by the wear leveler)."""
-        info = self.blocks[block]
-        if info.state is not BlockState.FREE or block not in self._free:
+        if self._state[block] != _FREE or block not in self._free:
             raise BookkeepingError(f"die {self.die}: block {block} is not free")
         del self._free[block]
-        info.state = BlockState.OPEN
-        return info
+        self._state[block] = _OPEN
+        return self.blocks[block]
 
     def free_blocks(self) -> list[BlockInfo]:
         """BlockInfo records currently in the free pool."""
@@ -318,10 +537,9 @@ class DieBookkeeping:
 
     def return_erased_block(self, block: int) -> None:
         """Put an erased block back into the free pool."""
-        info = self.blocks[block]
-        if info.state is BlockState.BAD:
+        if self._state[block] == _BAD:
             return
-        info.reset_after_erase()
+        self.blocks[block].reset_after_erase()
         self._free[block] = None
 
     # ------------------------------------------------------------------
@@ -333,15 +551,18 @@ class DieBookkeeping:
 
     def gc_candidates_scan(self) -> list[BlockInfo]:
         """The candidate set recomputed from scratch (reference/testing)."""
+        state = self._state
+        written = self._written
+        count = self._valid_count
         return [
-            b
-            for b in self.blocks
-            if b.state is BlockState.FULL and b.written - b.valid_count > 0
+            self.blocks[b]
+            for b in range(len(self.blocks))
+            if state[b] == _FULL and written[b] - count[b] > 0
         ]
 
     def total_valid_pages(self) -> int:
         """Live pages across the die (for utilization accounting)."""
-        return sum(b.valid_count for b in self.blocks)
+        return sum(self._valid_count)
 
     def check_invariants(self) -> None:
         """Assert the incremental state matches a from-scratch recompute."""

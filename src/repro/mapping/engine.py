@@ -290,6 +290,65 @@ class FlashSpaceEngine:
         per-die frontiers — the knowledge-free placement an FTL performs
         and the paper's *traditional* baseline.
         """
+        device = self.device
+        if device.faults is None and device.events is None:
+            # hot path: no fault injector, no event bus — program faults
+            # cannot occur, so the redrive loop collapses and the write
+            # runs on packed integer coordinates end-to-end (no
+            # PhysicalPageAddress / PageMetadata / CommandResult objects).
+            # Die pick and frontier refill are inlined from _pick_die /
+            # _frontier; `has_reclaimable` stays a property access so
+            # alternative bookkeeping cost models keep being exercised.
+            ppd = self._pages_per_die
+            ppb = self._pages_per_block
+            books_map = self.books
+            if group is None:
+                dies = self.dies
+                n = len(dies)
+                rr = self._rr_index
+                for offset in range(n):
+                    die_index = dies[(rr + offset) % n]
+                    books = books_map[die_index]
+                    if len(books._free) > 1 or books.has_reclaimable:
+                        self._rr_index = (rr + offset + 1) % n
+                        break
+                else:
+                    raise SpaceFullError(
+                        f"engine over dies {self.dies}: every die is full of valid data"
+                    )
+                if len(books._free) <= self.gc_trigger_free_blocks:
+                    at = self._collect_if_needed(die_index, at)
+                frontier = self._user_frontier[die_index]
+                if frontier is None or books._written[frontier.block] >= ppb:
+                    frontier = books.take_free_block()
+                    self._user_frontier[die_index] = frontier
+            else:
+                frontier, at = self._group_frontier(group, at)
+                die_index = frontier.die
+                books = books_map[die_index]
+            block = frontier.block
+            page = books._written[block]
+            obj = self.obj_id
+            seq = device._seq + 1  # next_sequence(), sans the call
+            device._seq = seq
+            end = device.program_page_packed(
+                die_index, block, page, data, key,
+                seq, -1 if obj is None else obj, at,
+            )
+            # inline invalidate(key): the overwritten version (if any) dies
+            old = self._map.pop(key, None)
+            if old is not None:
+                odie, rest = divmod(old, ppd)
+                oblock, opage = divmod(rest, ppb)
+                books_map[odie].invalidate_packed(oblock, opage)
+                del self._rmap[old]
+            books.note_write_packed(block, page, end)
+            packed = die_index * ppd + block * ppb + page
+            self._map[key] = packed
+            self._rmap[packed] = key
+            if group is None and books._written[block] >= ppb:
+                self._user_frontier[die_index] = None
+            return end
         last: ProgramFaultError | None = None
         for __ in range(MAX_WRITE_REDRIVES):
             if group is None:
@@ -406,7 +465,7 @@ class FlashSpaceEngine:
         # ever stores addresses it packed itself, so no validation round-trip
         die, rest = divmod(packed, self._pages_per_die)
         block, page = divmod(rest, self._pages_per_block)
-        self.books[die].blocks[block].invalidate(page)
+        self.books[die].invalidate_packed(block, page)
         del self._rmap[packed]
 
     # ------------------------------------------------------------------
@@ -535,11 +594,17 @@ class FlashSpaceEngine:
         for page in victim.valid_pages():
             src = PhysicalPageAddress(die_index, victim.block, page)
             at = self._relocate(src, at)
-        result = self.device.erase_block(PhysicalBlockAddress(die_index, victim.block), at=at)
+        device = self.device
+        if device.faults is None and device.events is None:
+            end = device.erase_block_packed(die_index, victim.block, at)
+        else:
+            end = device.erase_block(
+                PhysicalBlockAddress(die_index, victim.block), at=at
+            ).end_us
         self.stats.gc_erases += 1
         self._erases_since_wl_check += 1
         self._retire_or_recycle(die_index, victim.block)
-        return result.end_us
+        return end
 
     def _retire_or_recycle(self, die_index: int, block: int) -> None:
         """After an erase: recycle the block, or retire it if it wore out.
@@ -563,6 +628,34 @@ class FlashSpaceEngine:
         die_index = src.die
         src_packed = src.die * self._pages_per_die + src.block * self._pages_per_block + src.page
         key = self._rmap[src_packed]
+        device = self.device
+        if device.faults is None and device.events is None:
+            # hot path mirror of the loop below: without a fault injector a
+            # program fault cannot occur, so one attempt always lands
+            frontier = self._frontier(self._gc_frontier, die_index)
+            books = self.books[die_index]
+            block = frontier.block
+            page = books._written[block]
+            try:
+                end = device.copyback_packed(
+                    die_index, src.block, src.page, block, page, at
+                )
+                self.stats.gc_copybacks += 1
+            except CopybackError:
+                read = self._read_for_relocation(src, at)
+                dst = PhysicalPageAddress(die_index, block, page)
+                end = device.program_page(dst, read.data, read.metadata, at=read.end_us).end_us
+                self.stats.gc_reads += 1
+                self.stats.gc_programs += 1
+            books.invalidate_packed(src.block, src.page)
+            del self._rmap[src_packed]
+            books.note_write_packed(block, page, end)
+            packed = die_index * self._pages_per_die + block * self._pages_per_block + page
+            self._map[key] = packed
+            self._rmap[packed] = key
+            if books._written[block] >= self._pages_per_block:
+                self._gc_frontier[die_index] = None
+            return end
         last: ProgramFaultError | None = None
         for __ in range(MAX_WRITE_REDRIVES):
             frontier = self._frontier(self._gc_frontier, die_index)
@@ -650,7 +743,7 @@ class FlashSpaceEngine:
         """
         if packed is None:
             packed = ppa.die * self._pages_per_die + ppa.block * self._pages_per_block + ppa.page
-        self.books[ppa.die].blocks[ppa.block].invalidate(ppa.page)
+        self.books[ppa.die].invalidate_packed(ppa.block, ppa.page)
         del self._rmap[packed]
 
     # ------------------------------------------------------------------

@@ -1,10 +1,12 @@
-"""Functional façade over the GC policy lab (:mod:`repro.policies`).
+"""Thin re-export façade over the GC policy lab (:mod:`repro.policies`).
 
-Victim selection is owned by the policy objects in :mod:`repro.policies`;
-this module keeps the original free-function surface — the pure selection
-kernels plus string-dispatched helpers — for callers and benchmarks that
-do not hold a policy instance.  The engine itself resolves policies
-through the registry and calls them directly.
+Victim selection is owned by the policy objects in :mod:`repro.policies`.
+Historically this module carried its own free-function implementations;
+after an audit found the wrappers behaviourally identical to the policy
+lab's selection kernels (pinned by ``tests/mapping/test_policies.py``),
+they collapsed into direct aliases — one implementation, two import
+paths.  The string-dispatched helpers resolve through the same registry
+the engine uses.
 
 Both management layers apply the same policies; what differs between the
 paper's configurations is the *candidate set* they are applied to (whole
@@ -25,26 +27,13 @@ from repro.policies import (
     select_victim_greedy,
 )
 
+#: Alias of :func:`repro.policies.select_victim_greedy` — most invalid
+#: pages wins, ties break toward the lower (die, block) address.
+choose_victim_greedy = select_victim_greedy
 
-def choose_victim_greedy(candidates: Iterable[BlockInfo]) -> BlockInfo | None:
-    """Return the candidate with the most invalid pages, or ``None``.
-
-    Ties break toward the lower (die, block) address for determinism.
-    """
-    return select_victim_greedy(candidates)
-
-
-def choose_victim_cost_benefit(
-    candidates: Iterable[BlockInfo], now_us: float
-) -> BlockInfo | None:
-    """Return the candidate with the best cost-benefit score, or ``None``.
-
-    The score is ``age * (1 - u) / (2 * u)`` where ``u`` is the fraction of
-    valid pages and ``age`` the time since the block was last written.  A
-    fully-invalid block (``u == 0``) is always the best possible victim.
-    """
-    return select_victim_cost_benefit(candidates, now_us)
-
+#: Alias of :func:`repro.policies.select_victim_cost_benefit` — best
+#: ``age * (1 - u) / (2 * u)`` score wins; a fully-invalid block always.
+choose_victim_cost_benefit = select_victim_cost_benefit
 
 #: Registered policy names (kept as a mapping for backward compatibility;
 #: the authoritative catalogue is :func:`repro.policies.available_gc_policies`).

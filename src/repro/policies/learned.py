@@ -89,8 +89,15 @@ class LearnedGC(GCPolicy):
         pool = sorted(candidates, key=lambda b: (b.die, b.block))
         if not pool:
             return None
-        if len(pool) > 1 and self._rng.random() < self.epsilon:
-            pick = pool[self._rng.randrange(len(pool))]
+        # exactly two draws per non-empty selection, whatever the pool
+        # size: RNG consumption is a function of the selection count
+        # alone, so same-seed instances stay in lockstep even when their
+        # candidate pools differ in size (a size-1 pool must not skip the
+        # stream the way a conditional draw would)
+        explore = self._rng.random() < self.epsilon
+        index = int(self._rng.random() * len(pool))
+        if explore:
+            pick = pool[index]
             self._last_features = self._features(pick, now_us)
             return pick
         best = pool[0]

@@ -62,9 +62,20 @@ def build_engine(gc_policy: str, seed: int) -> FlashSpaceEngine:
     )
 
 
-def run_engine_workload(gc_policy: str, seed: int, ops: int = 6000) -> dict:
-    """Skewed write/trim/atomic workload straight against one engine."""
+def run_engine_workload(
+    gc_policy: str, seed: int, ops: int = 6000, slow_path: bool = False
+) -> dict:
+    """Skewed write/trim/atomic workload straight against one engine.
+
+    ``slow_path=True`` attaches an event bus to the device, which disables
+    the engine's packed array-core fast paths (they are only legal when no
+    observer needs per-command events) — the same workload then runs
+    through the full command implementations, letting golden tests prove
+    both paths simulate identically.
+    """
     engine = build_engine(gc_policy, seed)
+    if slow_path:
+        engine.device.attach_event_bus()
     rng = random.Random(seed)
     # keep the live set well inside safe capacity so GC has slack
     keys = max(64, int(engine.safe_capacity_pages() * 0.72))

@@ -52,6 +52,36 @@ class TestCostBenefit:
         assert choose_victim_cost_benefit([], now_us=0.0) is None
 
 
+class TestFacadeIsReExport:
+    """The mapping-layer helpers are the policy lab's kernels, not forks.
+
+    Pins the collapse of the legacy free functions into aliases: any
+    future behavioural divergence between ``repro.mapping.policies`` and
+    ``repro.policies`` must show up here as an identity break.
+    """
+
+    def test_selection_kernels_are_aliases(self):
+        from repro import policies as lab
+        from repro.mapping import policies as facade
+
+        assert facade.choose_victim_greedy is lab.select_victim_greedy
+        assert facade.choose_victim_cost_benefit is lab.select_victim_cost_benefit
+
+    def test_policy_catalogue_matches_registry(self):
+        from repro.mapping.policies import POLICIES
+        from repro.policies import available_gc_policies
+
+        assert sorted(POLICIES) == sorted(available_gc_policies())
+
+    def test_dispatch_agrees_with_registry_policy(self):
+        from repro.policies import resolve_gc_policy
+
+        pool = [block(0, 0, valid=3), block(0, 1, valid=1), block(1, 2, valid=0)]
+        for name in ("greedy", "cost_benefit"):
+            direct = resolve_gc_policy(name).choose_victim(list(pool), now_us=500.0)
+            assert choose_victim(name, list(pool), now_us=500.0) is direct
+
+
 class TestDispatch:
     def test_dispatch_greedy(self):
         b = block(0, 0, valid=1)

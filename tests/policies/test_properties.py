@@ -72,6 +72,60 @@ class TestGCDeterminism:
             assert (fwd.die, fwd.block) == (rev.die, rev.block)
 
 
+class TestLearnedRNGUniformity:
+    """LearnedGC draws from its RNG uniformly: two draws per non-empty
+    selection, whatever the pool size.
+
+    The seed implementation only touched the RNG when ``len(pool) > 1``,
+    so a size-1 pool silently skipped the stream and every later pick
+    depended on the *sizes* of earlier pools, not just how many
+    selections had happened — a replay hazard this class pins shut.
+    """
+
+    def test_each_selection_draws_exactly_twice(self):
+        import random
+
+        from repro.policies.learned import LearnedGC
+
+        for pool in ([block(0, 0, valid=2)], candidate_pool(3)):
+            policy = LearnedGC(seed=5)
+            policy.choose_victim(pool, now_us=1.0)
+            expected = random.Random(5)
+            expected.random()
+            expected.random()
+            assert policy._rng.random() == expected.random()
+
+    def test_empty_pool_draws_nothing(self):
+        import random
+
+        from repro.policies.learned import LearnedGC
+
+        policy = LearnedGC(seed=5)
+        assert policy.choose_victim([], now_us=1.0) is None
+        assert policy._rng.random() == random.Random(5).random()
+
+    def test_size_one_pools_keep_same_seed_instances_in_lockstep(self):
+        from repro.policies.learned import LearnedGC
+
+        # epsilon=1 makes every pick pure RNG, so any stream skew caused
+        # by the size-1 pool would surface as a different shared-pool pick
+        a = LearnedGC(seed=11, epsilon=1.0)
+        b = LearnedGC(seed=11, epsilon=1.0)
+        a.choose_victim([block(9, 9, valid=2)], now_us=10.0)
+        b.choose_victim(candidate_pool(1), now_us=10.0)
+        shared = candidate_pool(0)
+        pick_a = a.choose_victim(list(shared), now_us=20.0)
+        pick_b = b.choose_victim(list(shared), now_us=20.0)
+        assert (pick_a.die, pick_a.block) == (pick_b.die, pick_b.block)
+
+    def test_exploring_a_single_candidate_returns_it(self):
+        from repro.policies.learned import LearnedGC
+
+        policy = LearnedGC(seed=2, epsilon=1.0)
+        only = block(0, 0, valid=1)
+        assert policy.choose_victim([only], now_us=5.0) is only
+
+
 @pytest.mark.parametrize("name", WL_NAMES)
 class TestWLContract:
     def test_move_members_and_empty_none(self, name):
