@@ -30,11 +30,14 @@ from repro.analysis.astutil import dotted_name
 from repro.analysis.core import Rule, SourceModule, Violation
 
 #: packages whose code feeds simulated counters — the determinism scope
-#: (bench/ is host-side and exempt, except the shard runner, which
-#: promises bit-identical parallel simulation)
+#: (bench/ is host-side and exempt, except the shard runner and its
+#: supervisor, which promise bit-identical parallel simulation: retries
+#: must re-execute cells deterministically, so no ambient entropy or
+#: wall-clock reads may leak into their control flow; the chaos harness
+#: lives under faults/ and is scoped with its package)
 SIM_PACKAGES = (
     "flash/", "mapping/", "ftl/", "core/", "db/", "faults/", "policies/",
-    "bench/sharding.py",
+    "bench/sharding.py", "bench/supervisor.py",
 )
 
 #: dotted call patterns that read the wall clock or ambient entropy

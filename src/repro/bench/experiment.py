@@ -81,6 +81,12 @@ class TPCCExperimentConfig:
     #: each cell owns its device, so results are identical either way —
     #: see :mod:`repro.bench.sharding`)
     shards: int = 1
+    #: shard-supervision knobs (see :mod:`repro.bench.supervisor`):
+    #: per-attempt wall-clock timeout, bounded deterministic retries, and
+    #: whether exhausted cells degrade the merged doc instead of failing
+    shard_timeout_s: float | None = None
+    shard_retries: int = 1
+    allow_degraded: bool = False
 
     def with_budget(
         self, num_transactions: int | None = None, duration_us: float | None = None

@@ -10,29 +10,41 @@ partitioning by cell *is* partitioning by die set: no flash command ever
 crosses a shard boundary, the workload is partition-closed by
 construction, and the sharded run computes bit-identical per-cell results.
 
-:func:`run_cells` distributes cells over ``multiprocessing`` workers.
-The *spawn* start method is used deliberately: every child rebuilds all
-simulator state from the pickled cell spec alone, inheriting nothing from
-the parent — which is exactly the determinism contract the equivalence
-tests pin.  ``shards == 1`` (the default everywhere) runs the cells
-sequentially in process; that path is the reference the sharded-equality
-tests and the CI smoke job compare against.
+Cell execution is delegated to :mod:`repro.bench.supervisor`: each cell
+runs in its own *spawn* process with a heartbeat, a wall-clock timeout,
+and bounded deterministic retries — a SIGKILLed or hung worker is
+retried, and because cells are pure functions of their pickled specs the
+retried run's merged document is byte-identical to the sequential one.
+When retries are exhausted the run salvages the survivors into a
+``degraded`` document instead of discarding everything (see
+:class:`~repro.bench.supervisor.ShardRunReport`).  ``shards == 1`` (the
+default everywhere) runs the cells sequentially in process; that path is
+the reference the sharded-equality tests and the CI smoke job compare
+against.
 
 :func:`merge_metrics_docs` is the deterministic merge step: it reassembles
 per-cell ``repro.obs/v1`` documents into the single document the
 sequential path emits.  On a partition-closed workload the per-cell
 config names are disjoint, so the merge is a pure order-preserving union;
 colliding numeric sections (shards reporting slices of one logical
-config) are summed leaf-wise.
+config) are summed leaf-wise.  Any structural disagreement between shard
+documents — schema version, command, or section key sets — raises the
+typed :class:`MergeError` rather than producing a silently wrong union.
 """
 
 from __future__ import annotations
 
-import multiprocessing
 from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Sequence
 
 from repro.bench.experiment import TPCCExperimentConfig, TPCCExperimentResult, run_tpcc_experiment
+from repro.bench.supervisor import (
+    ShardPolicy,
+    ShardRunReport,
+    run_cells_supervised,
+    shard_policy_from,
+    strict,
+)
 from repro.bench.synthetic import SyntheticConfig, SyntheticResult, run_ftl_synthetic, run_noftl_synthetic
 
 
@@ -49,24 +61,23 @@ class ShardCell:
     args: tuple[Any, ...] = ()
 
 
-def run_cells(cells: Iterable[ShardCell], shards: int) -> list[Any]:
+def run_cells(
+    cells: Iterable[ShardCell], shards: int, policy: ShardPolicy | None = None
+) -> list[Any]:
     """Run every cell; return results in cell order regardless of finish order.
 
     ``shards == 1`` (or a single cell) runs sequentially in this process —
     the bit-identical baseline.  ``shards > 1`` fans the cells out over
-    ``min(shards, len(cells))`` spawn workers; collecting results by
-    submission order keeps the output deterministic even though cells
-    finish in any order.
+    ``min(shards, len(cells))`` supervised spawn workers; collecting
+    results by submission order keeps the output deterministic even
+    though cells finish in any order.  A cell that exhausts its retries
+    raises :class:`~repro.bench.supervisor.ShardDegradedError` — callers
+    that want to salvage partial results use
+    :func:`~repro.bench.supervisor.run_cells_supervised` directly.
     """
-    if shards < 1:
-        raise ValueError("shards must be >= 1")
-    todo = list(cells)
-    if shards == 1 or len(todo) <= 1:
-        return [cell.fn(*cell.args) for cell in todo]
-    ctx = multiprocessing.get_context("spawn")
-    with ctx.Pool(processes=min(shards, len(todo))) as pool:
-        pending = [pool.apply_async(cell.fn, cell.args) for cell in todo]
-        return [handle.get() for handle in pending]
+    report = run_cells_supervised(cells, shards, strict(policy or ShardPolicy()))
+    report.raise_if_blocked()
+    return report.results()
 
 
 # ----------------------------------------------------------------------
@@ -83,11 +94,36 @@ def fig3_cells(
     ]
 
 
+def run_fig3_supervised(
+    traditional: TPCCExperimentConfig, regions: TPCCExperimentConfig
+) -> tuple[list[TPCCExperimentResult | None], ShardRunReport]:
+    """Run both Figure 3 cells under supervision, salvaging survivors.
+
+    Raises :class:`~repro.bench.supervisor.ShardDegradedError` when a
+    cell is lost and ``traditional.allow_degraded`` is unset; otherwise
+    lost cells come back as ``None`` and the report carries the
+    ``degraded`` stanza for the merged document.
+    """
+    report = run_cells_supervised(
+        fig3_cells(traditional, regions),
+        traditional.shards,
+        shard_policy_from(traditional),
+    )
+    report.raise_if_blocked()
+    return report.results(), report
+
+
 def run_fig3_shards(
     traditional: TPCCExperimentConfig, regions: TPCCExperimentConfig
 ) -> tuple[TPCCExperimentResult, TPCCExperimentResult]:
     """Run both Figure 3 cells, ``traditional.shards`` at a time."""
-    first, second = run_cells(fig3_cells(traditional, regions), traditional.shards)
+    report = run_cells_supervised(
+        fig3_cells(traditional, regions),
+        traditional.shards,
+        strict(shard_policy_from(traditional)),
+    )
+    report.raise_if_blocked()
+    first, second = report.results()
     return first, second
 
 
@@ -99,9 +135,24 @@ def hotcold_cells(config: SyntheticConfig) -> list[ShardCell]:
     ]
 
 
+def run_hotcold_supervised(
+    config: SyntheticConfig,
+) -> tuple[list[SyntheticResult | None], ShardRunReport]:
+    """Run the hot/cold cells under supervision, salvaging survivors."""
+    report = run_cells_supervised(
+        hotcold_cells(config), config.shards, shard_policy_from(config)
+    )
+    report.raise_if_blocked()
+    return report.results(), report
+
+
 def run_hotcold_shards(config: SyntheticConfig) -> tuple[SyntheticResult, SyntheticResult]:
     """Run the mixed and separated cells, ``config.shards`` at a time."""
-    mixed, separated = run_cells(hotcold_cells(config), config.shards)
+    report = run_cells_supervised(
+        hotcold_cells(config), config.shards, strict(shard_policy_from(config))
+    )
+    report.raise_if_blocked()
+    mixed, separated = report.results()
     return mixed, separated
 
 
@@ -116,12 +167,35 @@ def ftl_cells(config: SyntheticConfig) -> list[ShardCell]:
     ]
 
 
+def _rename_ftl_results(
+    cells: Sequence[ShardCell], results: Sequence[SyntheticResult | None]
+) -> None:
+    for cell, result in zip(cells, results):
+        if result is not None:
+            result.name = cell.name
+
+
+def run_ftl_supervised(
+    config: SyntheticConfig,
+) -> tuple[list[SyntheticResult | None], ShardRunReport]:
+    """Run all five stacks under supervision, salvaging survivors."""
+    cells = ftl_cells(config)
+    report = run_cells_supervised(cells, config.shards, shard_policy_from(config))
+    report.raise_if_blocked()
+    results: list[SyntheticResult | None] = report.results()
+    _rename_ftl_results(cells, results)
+    return results, report
+
+
 def run_ftl_shards(config: SyntheticConfig) -> list[SyntheticResult]:
     """Run all five stacks, ``config.shards`` at a time, canonically named."""
     cells = ftl_cells(config)
-    results: list[SyntheticResult] = run_cells(cells, config.shards)
-    for cell, result in zip(cells, results):
-        result.name = cell.name
+    report = run_cells_supervised(
+        cells, config.shards, strict(shard_policy_from(config))
+    )
+    report.raise_if_blocked()
+    results: list[SyntheticResult] = report.results()
+    _rename_ftl_results(cells, results)
     return results
 
 
@@ -130,6 +204,17 @@ def run_ftl_shards(config: SyntheticConfig) -> list[SyntheticResult]:
 # ----------------------------------------------------------------------
 
 _ENVELOPE_KEYS = ("schema", "command", "configs")
+
+
+class MergeError(ValueError):
+    """Shard documents disagree structurally and cannot be merged.
+
+    Raised on schema-version or command mismatch, conflicting top-level
+    extras, and — for colliding config names — section key sets that
+    differ between shards, list-length mismatches, or incompatible leaf
+    types.  A subclass of :class:`ValueError` so pre-existing callers
+    catching ``ValueError`` keep working.
+    """
 
 
 def merge_metrics_docs(docs: Sequence[dict]) -> dict:
@@ -142,27 +227,33 @@ def merge_metrics_docs(docs: Sequence[dict]) -> dict:
     path) the result equals the document the sequential path builds.  If
     two documents carry the *same* config name, their numeric section
     trees are summed leaf-wise (counter semantics; shards reporting
-    slices of one logical config) — non-additive values such as latency
-    means must not collide, and structural mismatches raise
-    :class:`ValueError`.
+    slices of one logical config) — the trees must then agree key-for-key
+    at every level: a shard silently missing (or inventing) a counter is
+    a corrupted shard, and the merge fails loudly with :class:`MergeError`
+    instead of unioning a half-empty tree into a wrong total.
     """
     if not docs:
-        raise ValueError("nothing to merge: no metrics documents given")
+        raise MergeError("nothing to merge: no metrics documents given")
     schema = docs[0].get("schema")
     command = docs[0].get("command")
     configs: dict[str, dict] = {}
     extras: dict[str, object] = {}
     for doc in docs:
-        if doc.get("schema") != schema or doc.get("command") != command:
-            raise ValueError(
+        if doc.get("schema") != schema:
+            raise MergeError(
+                f"cannot merge documents of different schema versions: "
+                f"{doc.get('schema')!r} vs {schema!r}"
+            )
+        if doc.get("command") != command:
+            raise MergeError(
                 f"cannot merge documents of different runs: "
-                f"{doc.get('schema')!r}/{doc.get('command')!r} vs {schema!r}/{command!r}"
+                f"{doc.get('command')!r} vs {command!r}"
             )
         for key, value in doc.items():
             if key in _ENVELOPE_KEYS:
                 continue
             if key in extras and extras[key] != value:
-                raise ValueError(f"conflicting top-level section {key!r} across shards")
+                raise MergeError(f"conflicting top-level section {key!r} across shards")
             extras.setdefault(key, value)
         for name, sections in doc.get("configs", {}).items():
             if name in configs:
@@ -185,26 +276,32 @@ def _copy_tree(tree: dict) -> dict:
 
 
 def _merge_tree(a: dict, b: dict, path: str) -> dict:
-    """Sum two numeric section trees leaf-wise; mismatched shapes raise."""
+    """Sum two numeric section trees leaf-wise; any shape mismatch raises.
+
+    Key sets must match exactly at every level: shards summing slices of
+    one logical config emit the same counters by construction, so a key
+    present on one side only means a corrupted or truncated shard
+    document — grounds for :class:`MergeError`, not a silent union.
+    """
+    only_a = [key for key in a if key not in b]
+    only_b = [key for key in b if key not in a]
+    if only_a or only_b:
+        raise MergeError(
+            f"cannot merge {path}: shard documents disagree on keys "
+            f"(one side only: {sorted(only_a + only_b)})"
+        )
     out: dict = {}
-    for key in (*a, *(k for k in b if k not in a)):
+    for key in a:
         where = f"{path}.{key}"
-        if key not in b:
-            value_a = a[key]
-            out[key] = _copy_tree(value_a) if isinstance(value_a, dict) else value_a
-        elif key not in a:
-            value_b = b[key]
-            out[key] = _copy_tree(value_b) if isinstance(value_b, dict) else value_b
+        value_a, value_b = a[key], b[key]
+        if isinstance(value_a, dict) and isinstance(value_b, dict):
+            out[key] = _merge_tree(value_a, value_b, where)
+        elif isinstance(value_a, list) and isinstance(value_b, list):
+            if len(value_a) != len(value_b):
+                raise MergeError(f"cannot merge {where}: list lengths differ")
+            out[key] = [x + y for x, y in zip(value_a, value_b)]
+        elif isinstance(value_a, (int, float)) and isinstance(value_b, (int, float)):
+            out[key] = value_a + value_b
         else:
-            value_a, value_b = a[key], b[key]
-            if isinstance(value_a, dict) and isinstance(value_b, dict):
-                out[key] = _merge_tree(value_a, value_b, where)
-            elif isinstance(value_a, list) and isinstance(value_b, list):
-                if len(value_a) != len(value_b):
-                    raise ValueError(f"cannot merge {where}: list lengths differ")
-                out[key] = [x + y for x, y in zip(value_a, value_b)]
-            elif isinstance(value_a, (int, float)) and isinstance(value_b, (int, float)):
-                out[key] = value_a + value_b
-            else:
-                raise ValueError(f"cannot merge {where}: incompatible values")
+            raise MergeError(f"cannot merge {where}: incompatible values")
     return out

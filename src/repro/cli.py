@@ -8,6 +8,8 @@ Commands:
 * ``hotcold`` — the hot/cold separation ablation.
 * ``ftl`` — the FTL-vs-NoFTL motivation experiment.
 * ``recover`` — demonstrate crash recovery from page metadata.
+* ``chaos`` — run seeded generated fault plans and check the recovery
+  invariants after each (:mod:`repro.faults.chaos`).
 * ``report`` — render / validate a saved ``repro.obs/v1`` metrics file.
 * ``lint`` — run the static invariant linter (:mod:`repro.analysis`).
 
@@ -22,6 +24,11 @@ blocks) and ``--fault-plan FILE.json`` (seeded fault injection armed for
 the measured window; see :mod:`repro.faults`), and ``--shards N`` to run
 their independent experiment cells across worker processes (results are
 identical to the sequential run; see :mod:`repro.bench.sharding`).
+Sharded runs are supervised (:mod:`repro.bench.supervisor`):
+``--shard-timeout`` bounds each worker attempt, ``--shard-retries``
+re-executes failed cells deterministically, and ``--allow-degraded``
+salvages the surviving cells into a document carrying an explicit
+``degraded`` section instead of failing the whole run.
 """
 
 from __future__ import annotations
@@ -32,6 +39,8 @@ from dataclasses import replace
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.bench.supervisor import ShardRunReport
+    from repro.bench.synthetic import SyntheticConfig, SyntheticResult
     from repro.faults.plan import FaultPlan
 
 
@@ -131,16 +140,25 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
     return _emit(args, doc, text)
 
 
+def _degraded_note(report: "ShardRunReport") -> str:
+    lost = ", ".join(outcome.name for outcome in report.lost)
+    return (
+        f"DEGRADED: cells lost after retries: {lost} "
+        "(named in the document's 'degraded' section)"
+    )
+
+
 def _cmd_fig3(args: argparse.Namespace) -> int:
     from repro.bench import (
         TPCCExperimentConfig,
         derive_method_placement,
         figure3_metrics_doc,
         figure3_table,
-        run_fig3_shards,
+        run_fig3_supervised,
     )
     from repro.core import traditional_placement
     from repro.flash import paper_geometry
+    from repro.obs.export import metrics_doc
     from repro.tpcc import ScaleConfig
 
     scale = ScaleConfig(
@@ -163,12 +181,15 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
         device_seed=args.device_seed,
         fault_plan=_load_fault_plan(args),
         shards=args.shards,
+        shard_timeout_s=args.shard_timeout,
+        shard_retries=args.shard_retries,
+        allow_degraded=args.allow_degraded,
     )
     _progress(args, "deriving region placement (paper's method) ...")
     placement = derive_method_placement(config, args.transactions)
     how = f"across {args.shards} shards" if args.shards > 1 else "sequentially"
     _progress(args, f"running traditional and multi-region placements {how} ...")
-    traditional, regions = run_fig3_shards(
+    results, report = run_fig3_supervised(
         replace(
             config,
             name="traditional",
@@ -177,70 +198,103 @@ def _cmd_fig3(args: argparse.Namespace) -> int:
         replace(config, name="regions", placement=placement),
     )
     _progress(args, "")
-    doc = figure3_metrics_doc(traditional, regions)
+    traditional, regions = results
+    if traditional is not None and regions is not None:
+        doc = figure3_metrics_doc(traditional, regions)
+        text = figure3_table(traditional, regions)
+    else:
+        survivors = [r for r in results if r is not None]
+        if not survivors:
+            print("error: every experiment cell was lost; nothing to report",
+                  file=sys.stderr)
+            return 3
+        doc = metrics_doc("fig3", {r.config.name: r.metrics() for r in survivors})
+        text = "partial Figure 3 results (surviving cells: " + ", ".join(
+            r.config.name for r in survivors
+        ) + ")"
     doc["policies"] = {"gc": args.gc_policy}
-    return _emit(args, doc, figure3_table(traditional, regions))
+    if report.degraded:
+        doc["degraded"] = report.degraded_section()
+        text = f"{text}\n{_degraded_note(report)}"
+    return _emit(args, doc, text)
+
+
+def _emit_synthetic(
+    args: argparse.Namespace, command: str, title: str, header: list[str],
+    results: "list[SyntheticResult | None]", report: "ShardRunReport",
+) -> int:
+    """Shared hotcold/ftl emission: merge survivor docs, degrade loudly."""
+    from repro.bench import merge_metrics_docs, render_series
+    from repro.obs.export import metrics_doc
+
+    survivors = [result for result in results if result is not None]
+    if not survivors:
+        print("error: every experiment cell was lost; nothing to report",
+              file=sys.stderr)
+        return 3
+    text = render_series(title, header, [r.row() for r in survivors])
+    doc = merge_metrics_docs([
+        metrics_doc(
+            command,
+            {result.name: result.metrics()},
+            policies={"gc": args.gc_policy, "wl": args.wl_policy},
+        )
+        for result in survivors
+    ])
+    if report.degraded:
+        doc["degraded"] = report.degraded_section()
+        text = f"{text}\n{_degraded_note(report)}"
+    return _emit(args, doc, text)
+
+
+def _synthetic_config(
+    args: argparse.Namespace, utilization: float = 0.7
+) -> "SyntheticConfig":
+    from repro.bench import SyntheticConfig
+
+    return SyntheticConfig(
+        writes=args.writes,
+        utilization=utilization,
+        gc_policy=args.gc_policy,
+        wl_policy=args.wl_policy,
+        initial_bad_block_rate=args.bad_block_rate,
+        device_seed=args.device_seed,
+        fault_plan=_load_fault_plan(args),
+        shards=args.shards,
+        shard_timeout_s=args.shard_timeout,
+        shard_retries=args.shard_retries,
+        allow_degraded=args.allow_degraded,
+    )
 
 
 def _cmd_hotcold(args: argparse.Namespace) -> int:
-    from repro.bench import SyntheticConfig, merge_metrics_docs, render_series, run_hotcold_shards
-    from repro.obs.export import metrics_doc
+    from repro.bench import run_hotcold_supervised
 
-    config = SyntheticConfig(
-        writes=args.writes,
-        gc_policy=args.gc_policy,
-        wl_policy=args.wl_policy,
-        initial_bad_block_rate=args.bad_block_rate,
-        device_seed=args.device_seed,
-        fault_plan=_load_fault_plan(args),
-        shards=args.shards,
-    )
-    mixed, separated = run_hotcold_shards(config)
-    text = render_series(
+    config = _synthetic_config(args)
+    results, report = run_hotcold_supervised(config)
+    return _emit_synthetic(
+        args,
+        "hotcold",
         "Hot/cold separation (synthetic, 8 dies, 70% utilization)",
         ["placement", "GC copybacks", "GC erases", "WA", "writes/s"],
-        [mixed.row(), separated.row()],
+        results,
+        report,
     )
-    doc = merge_metrics_docs([
-        metrics_doc(
-            "hotcold",
-            {result.name: result.metrics()},
-            policies={"gc": args.gc_policy, "wl": args.wl_policy},
-        )
-        for result in (mixed, separated)
-    ])
-    return _emit(args, doc, text)
 
 
 def _cmd_ftl(args: argparse.Namespace) -> int:
-    from repro.bench import SyntheticConfig, merge_metrics_docs, render_series, run_ftl_shards
-    from repro.obs.export import metrics_doc
+    from repro.bench import run_ftl_supervised
 
-    config = SyntheticConfig(
-        writes=args.writes,
-        utilization=0.65,
-        gc_policy=args.gc_policy,
-        wl_policy=args.wl_policy,
-        initial_bad_block_rate=args.bad_block_rate,
-        device_seed=args.device_seed,
-        fault_plan=_load_fault_plan(args),
-        shards=args.shards,
-    )
-    results = run_ftl_shards(config)
-    text = render_series(
+    config = _synthetic_config(args, utilization=0.65)
+    results, report = run_ftl_supervised(config)
+    return _emit_synthetic(
+        args,
+        "ftl",
         "FTL vs NoFTL (synthetic skewed writes)",
         ["stack", "GC copybacks", "GC erases", "WA", "writes/s"],
-        [r.row() for r in results],
+        results,
+        report,
     )
-    doc = merge_metrics_docs([
-        metrics_doc(
-            "ftl",
-            {result.name: result.metrics()},
-            policies={"gc": args.gc_policy, "wl": args.wl_policy},
-        )
-        for result in results
-    ])
-    return _emit(args, doc, text)
 
 
 def _cmd_recover(args: argparse.Namespace) -> int:
@@ -280,6 +334,50 @@ def _cmd_recover(args: argparse.Namespace) -> int:
         },
     })
     return _emit(args, doc, text)
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from repro.bench import render_series
+    from repro.faults import ChaosConfig, run_chaos
+
+    config = ChaosConfig(
+        plans=args.plans,
+        seed=args.seed,
+        intensity=args.intensity,
+        num_transactions=args.transactions,
+        terminals=args.terminals,
+        shards=args.shards,
+        shard_timeout_s=args.shard_timeout,
+        shard_retries=args.shard_retries,
+        allow_degraded=args.allow_degraded,
+    )
+    how = f"across {config.shards} shards" if config.shards > 1 else "sequentially"
+    _progress(
+        args,
+        f"running {config.plans} generated plan(s), intensity "
+        f"{config.intensity!r}, seed {config.seed}, {how} ...",
+    )
+    report = run_chaos(config)
+    lines = [
+        render_series(
+            f"Chaos session - seed {config.seed}, intensity {config.intensity}",
+            ["plan", "specs", "injected", "crash", "failed dies",
+             "acct replay cap map", "verdict"],
+            report.rows(),
+        ),
+        "control (no-plan bit-identity): "
+        + ("ok" if report.control_ok else "FAIL"),
+    ]
+    if report.lost_plans:
+        lines.append(
+            "DEGRADED: plans lost after retries: " + ", ".join(report.lost_plans)
+        )
+    lines.append(
+        "chaos session: "
+        + ("all recovery invariants held" if report.ok else "INVARIANT VIOLATIONS")
+    )
+    status = _emit(args, report.metrics_doc(), "\n".join(lines))
+    return status if report.ok else 1
 
 
 def _cmd_lint(args: argparse.Namespace) -> int:
@@ -398,6 +496,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="run the command's independent experiment cells across N worker "
         "processes (default 1 = sequential; results are identical either way)",
     )
+    shard_opts.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per worker attempt; a worker exceeding it is "
+        "killed and the cell retried (default: no timeout)",
+    )
+    shard_opts.add_argument(
+        "--shard-retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="deterministic re-executions of a failed cell before it counts "
+        "as lost (default 1)",
+    )
+    shard_opts.add_argument(
+        "--allow-degraded",
+        action="store_true",
+        help="when retries are exhausted, salvage the surviving cells: the "
+        "emitted document gains a 'degraded' section naming the lost cells "
+        "instead of the run failing",
+    )
 
     info = sub.add_parser("info", parents=[common], help="package and simulator defaults")
     info.set_defaults(fn=_cmd_info)
@@ -432,6 +553,33 @@ def build_parser() -> argparse.ArgumentParser:
     )
     ftl.add_argument("--writes", type=int, default=10_000)
     ftl.set_defaults(fn=_cmd_ftl)
+
+    chaos = sub.add_parser(
+        "chaos",
+        parents=[common, metrics_out, shard_opts],
+        help="run seeded generated fault plans and check recovery invariants",
+    )
+    chaos.add_argument(
+        "--plans", type=int, default=25, metavar="N",
+        help="number of generated plans to run (default 25)",
+    )
+    chaos.add_argument(
+        "--seed", type=int, default=7,
+        help="generator seed; same seed => same plans (default 7)",
+    )
+    chaos.add_argument(
+        "--intensity", choices=("light", "medium", "heavy"), default="light",
+        help="how hostile the generated plans may be (default light)",
+    )
+    chaos.add_argument(
+        "--transactions", type=int, default=120,
+        help="TPC-C transactions per plan run (default 120)",
+    )
+    chaos.add_argument(
+        "--terminals", type=int, default=4,
+        help="TPC-C terminals per plan run (default 4)",
+    )
+    chaos.set_defaults(fn=_cmd_chaos)
 
     recover = sub.add_parser(
         "recover", parents=[common], help="crash recovery demonstration"
@@ -480,8 +628,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns the process exit code."""
+    from repro.bench.supervisor import ShardDegradedError
+
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ShardDegradedError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 3
 
 
 if __name__ == "__main__":

@@ -320,6 +320,19 @@ class Region:
             self._on_die_failed(self, die)
         return at
 
+    def retire_failed_die(self, die: int, at: float) -> float:
+        """Settle a die the injector killed but no write has tripped over.
+
+        Normally a dead die is discovered by the next write or erase that
+        touches it, which routes through :meth:`_recover_die_failure`.  A
+        die failure injected *after* the workload's last operation on that
+        die would stay invisible — injected but never retired — leaving
+        the fault accounting identity open.  Recovery-oriented harnesses
+        call this to force the rebuild; a die the region no longer owns
+        is a no-op, so settling is idempotent.
+        """
+        return self._recover_die_failure(die, at)
+
     # ------------------------------------------------------------------
     # Recovery
     # ------------------------------------------------------------------

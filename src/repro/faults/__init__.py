@@ -11,22 +11,49 @@ The DBMS owning flash management (the paper's thesis) means owning flash
 * :class:`FaultStats` — the ``faults.*`` metrics namespace, with the
   double-entry identity ``injected == recovered + retired``;
 * :func:`run_tpcc_crash_harness` — the end-to-end power-cut → OOB
-  recovery → WAL replay → consistency-check loop.
+  recovery → WAL replay → consistency-check loop;
+* :class:`FaultPlanGenerator` / :func:`run_chaos` — the seeded chaos
+  harness: generated fault plans with recovery invariants checked after
+  each (``repro chaos`` on the CLI).
 """
 
+from repro.faults.chaos import (
+    CHAOS_CHECKS,
+    INTENSITY_TIERS,
+    ChaosConfig,
+    ChaosReport,
+    FaultPlanGenerator,
+    IntensityTier,
+    PlanVerdict,
+    plan_label,
+    run_chaos,
+    run_chaos_plan,
+    run_control,
+)
 from repro.faults.harness import CrashHarnessResult, run_tpcc_crash_harness
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FAULT_KINDS, MAX_READ_RETRIES, FaultPlan, FaultPlanError, FaultSpec
 from repro.faults.stats import FaultStats
 
 __all__ = [
+    "CHAOS_CHECKS",
     "FAULT_KINDS",
+    "INTENSITY_TIERS",
     "MAX_READ_RETRIES",
+    "ChaosConfig",
+    "ChaosReport",
     "CrashHarnessResult",
     "FaultInjector",
     "FaultPlan",
     "FaultPlanError",
+    "FaultPlanGenerator",
     "FaultSpec",
     "FaultStats",
+    "IntensityTier",
+    "PlanVerdict",
+    "plan_label",
+    "run_chaos",
+    "run_chaos_plan",
+    "run_control",
     "run_tpcc_crash_harness",
 ]

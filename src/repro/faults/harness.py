@@ -126,6 +126,9 @@ def run_tpcc_crash_harness(
     driver = Driver(source, scale, terminals=terminals, seed=seed)
     metrics = driver.run(num_transactions=num_transactions)
     crashed = driver.crashed
+    # the plan's op schedule is defined against the measured run only —
+    # recovery, flush and settlement traffic must not fire new faults
+    injector.quiesce()
 
     # ------------------------------------------------------------------
     # Crash recovery on the source
@@ -143,6 +146,21 @@ def run_tpcc_crash_harness(
     else:
         t = source.wal.flush(t)
         wal = source.wal
+
+    # ------------------------------------------------------------------
+    # Settle die failures the workload never tripped over: a die killed
+    # after its region's last write stays injected-but-unretired, which
+    # would leave the accounting identity open.  The rebuild is the same
+    # one a write would have triggered; settling an already-rebuilt die
+    # is a no-op.
+    # ------------------------------------------------------------------
+    for die in sorted(injector.dead_dies):
+        for region in source.store.regions():
+            if die in region.engine.dies:
+                t = region.retire_failed_die(die, t)
+    # a wear-out whose carrying erase was aborted by a simultaneous
+    # crash/die failure would dangle injected-but-unretired — land it
+    injector.settle_pending_wearout(t)
 
     # ------------------------------------------------------------------
     # Target: restore the backup and replay the surviving log tail

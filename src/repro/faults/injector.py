@@ -116,6 +116,7 @@ class FaultInjector:
         self._rng = random.Random(plan.seed)
         self._specs = [_SpecState(spec) for spec in plan.specs]
         self._op = 0
+        self._quiesced = False
         # (die, block, page) -> remaining failures before a retry succeeds
         self._pending_reads: dict[tuple[int, int, int], int] = {}
         # (die, block) scheduled to wear out at its in-flight erase
@@ -125,6 +126,28 @@ class FaultInjector:
     def op_number(self) -> int:
         """Injectable device commands observed so far."""
         return self._op
+
+    @property
+    def quiesced(self) -> bool:
+        """Whether the plan's schedule has been stopped (see :meth:`quiesce`)."""
+        return self._quiesced
+
+    def quiesce(self) -> None:
+        """Stop firing new scheduled faults; injected state keeps its teeth.
+
+        The plan's operation schedule is defined against the *measured
+        workload*.  Recovery and settlement traffic (WAL re-discovery
+        reads, die rebuilds, log flushes) runs at op offsets no plan
+        author can predict, so once the workload ends the harness
+        quiesces the injector: specs stop firing, but everything already
+        injected keeps its semantics — dead dies still reject writes,
+        pending transient reads still fail until their retry budget
+        drains, and a scheduled wear-out still lands with its erase.
+        Without this, a schedule outliving the workload could fire a
+        second power cut inside recovery itself, which the documented
+        single-crash model excludes.
+        """
+        self._quiesced = True
 
     # ------------------------------------------------------------------
     # Device hooks
@@ -145,6 +168,8 @@ class FaultInjector:
                     del self._pending_reads[key]
                 self.stats.read_retry_attempts += 1
                 raise TransientReadError(die, block, page)
+        if self._quiesced:
+            return
         for state in self._specs:
             if state.should_fire(op, die, block, self._op, self._rng):
                 state.fired += 1
@@ -154,6 +179,27 @@ class FaultInjector:
         """Called by the device after an erase: apply a scheduled wear-out."""
         if self._pending_wearout != (die, block):
             return
+        self._pending_wearout = None
+        assert self.device is not None
+        self.device.dies[die].blocks[block].mark_bad()
+        self.stats.retired_wearout_blocks += 1
+        self._emit(at, "wearout_retired", die=die, block=block)
+
+    def settle_pending_wearout(self, at: float = 0.0) -> None:
+        """Apply a wear-out whose carrying erase never completed.
+
+        A wear-out fires on the erase command about to run and is applied
+        by ``after_erase`` of that same command.  If a *later* spec in the
+        same evaluation aborts the command (a power cut or die failure at
+        the same operation number), the scheduled wear-out would dangle
+        injected-but-unretired forever — the workload is over and nothing
+        erases that block again.  Recovery harnesses call this after the
+        run to land the retirement exactly as ``after_erase`` would have;
+        with nothing pending it is a no-op.
+        """
+        if self._pending_wearout is None:
+            return
+        die, block = self._pending_wearout
         self._pending_wearout = None
         assert self.device is not None
         self.device.dies[die].blocks[block].mark_bad()

@@ -18,6 +18,7 @@ from repro.flash.errors import (
     DataError,
     EraseError,
     FlashError,
+    PackedPathError,
     ProgramError,
     ReadError,
     WearOutError,
@@ -45,6 +46,7 @@ __all__ = [
     "KIB",
     "LatencyAccumulator",
     "MIB",
+    "PackedPathError",
     "PageMetadata",
     "PhysicalBlockAddress",
     "PhysicalPageAddress",

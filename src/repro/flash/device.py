@@ -26,6 +26,7 @@ from repro.flash.die import Die
 from repro.flash.errors import (
     CopybackError,
     DataError,
+    PackedPathError,
 )
 from typing import TYPE_CHECKING
 
@@ -294,7 +295,9 @@ class FlashDevice:
     # variants take raw integer coordinates, skip address re-validation and
     # the CommandResult allocation, and return only the completion time.
     # Callers MUST use the full commands above whenever a fault injector or
-    # an event bus is attached — the packed variants run neither hook.
+    # an event bus is attached — the packed variants run neither hook.  The
+    # device enforces this: every packed command raises PackedPathError when
+    # either hook is live, so a scheduled fault can never be skipped.
 
     def program_page_packed(
         self, die: int, block: int, page: int, data: bytes,
@@ -306,6 +309,8 @@ class FlashDevice:
         ``PageMetadata(lpn=lpn, seq=seq, obj_id=obj_id)`` (``-1`` encodes an
         unset ``lpn``/``obj_id``) when no faults/events are attached.
         """
+        if self.faults is not None or self.events is not None:
+            raise PackedPathError("program_page_packed")
         if type(data) is not bytes:
             if not isinstance(data, (bytearray, memoryview)):
                 raise DataError(
@@ -337,6 +342,8 @@ class FlashDevice:
         :class:`~repro.flash.errors.CopybackError` under strict plane
         rules, exactly like :meth:`copyback`.
         """
+        if self.faults is not None or self.events is not None:
+            raise PackedPathError("copyback_packed")
         if self.strict_plane_copyback:
             src_plane = self.geometry.plane_of_block(src_block)
             dst_plane = self.geometry.plane_of_block(dst_block)
@@ -354,6 +361,8 @@ class FlashDevice:
 
     def erase_block_packed(self, die: int, block: int, at: float) -> float:
         """ERASE BLOCK on pre-validated coordinates; returns completion time."""
+        if self.faults is not None or self.events is not None:
+            raise PackedPathError("erase_block_packed")
         self._die_blocks[die][block].erase()
         __, end = self._die_timelines[die].reserve(at, self._erase_us)
         self.stats.record_erase(die)

@@ -64,6 +64,24 @@ class TestScoping:
         result = lint_paths([bench], rule_ids=["determinism.wallclock"])
         assert result.exit_code == 0
 
+    def test_shard_runner_modules_are_in_determinism_scope(self, tmp_path):
+        # bench/ is host-side and exempt — except the shard runner and its
+        # supervisor, which promise deterministic re-execution.
+        for name in ("sharding.py", "supervisor.py"):
+            mod = tmp_path / "repro" / "bench" / name
+            mod.parent.mkdir(parents=True, exist_ok=True)
+            mod.write_text("import time\n\ndef t() -> float:\n    return time.time()\n")
+            result = lint_paths([mod], rule_ids=["determinism.wallclock"])
+            assert result.exit_code == 1, name
+            assert {v.rule_id for v in result.violations} == {"determinism.wallclock"}
+
+    def test_chaos_module_is_in_determinism_scope(self, tmp_path):
+        mod = tmp_path / "repro" / "faults" / "chaos.py"
+        mod.parent.mkdir(parents=True)
+        mod.write_text("import random\n\ndef r() -> float:\n    return random.random()\n")
+        result = lint_paths([mod], rule_ids=["determinism.unseeded-random"])
+        assert result.exit_code == 1
+
     def test_unused_import_rule_skips_init_files(self, tmp_path):
         init = tmp_path / "repro" / "pkg" / "__init__.py"
         init.parent.mkdir(parents=True)

@@ -13,6 +13,7 @@ import operator
 import pytest
 
 from repro.bench import (
+    MergeError,
     ShardCell,
     SyntheticConfig,
     merge_metrics_docs,
@@ -100,6 +101,38 @@ class TestMergeMetricsDocs:
     def test_empty_input_rejected(self):
         with pytest.raises(ValueError):
             merge_metrics_docs([])
+
+    def test_merge_error_is_typed_and_a_value_error(self):
+        # pre-existing callers catch ValueError; new callers can be precise
+        assert issubclass(MergeError, ValueError)
+        with pytest.raises(MergeError):
+            merge_metrics_docs([])
+
+    def test_schema_version_mismatch_is_loud(self):
+        doc = self._doc("a", 1.0)
+        other = self._doc("b", 2.0)
+        other["schema"] = "repro.obs/v2"
+        with pytest.raises(MergeError, match="different schema versions"):
+            merge_metrics_docs([doc, other])
+
+    def test_key_set_mismatch_names_the_stray_keys(self):
+        # a shard missing one counter (or inventing one) is a corrupted
+        # shard: the merge must fail, not union a half-empty tree
+        docs = [
+            metrics_doc("demo", {"a": {"s": {"x": 1.0, "y": 2.0}}}),
+            metrics_doc("demo", {"a": {"s": {"x": 1.0, "z": 3.0}}}),
+        ]
+        with pytest.raises(MergeError, match="disagree on keys") as exc:
+            merge_metrics_docs(docs)
+        assert "'y'" in str(exc.value) and "'z'" in str(exc.value)
+
+    def test_nested_key_set_mismatch_reports_the_path(self):
+        docs = [
+            metrics_doc("demo", {"a": {"s": {"inner": {"x": 1.0}}}}),
+            metrics_doc("demo", {"a": {"s": {"inner": {}}}}),
+        ]
+        with pytest.raises(MergeError, match=r"a\.s\.inner"):
+            merge_metrics_docs(docs)
 
 
 def _hotcold_doc(config) -> dict:

@@ -1,0 +1,257 @@
+"""Shard supervision: crash/timeout/stall detection, retries, salvage.
+
+The contract: a worker dying mid-run (SIGKILL, hang, SIGSTOP) costs that
+cell at most a bounded retry — and because cells are deterministic, the
+retried run's merged document is byte-identical to the sequential one.
+Exhausted retries degrade loudly (an explicit ``degraded`` stanza or a
+:class:`ShardDegradedError`), never silently.
+
+Worker functions live at module level so spawn workers can unpickle them
+by qualified name.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.bench import (
+    CellOutcome,
+    ShardCell,
+    ShardDegradedError,
+    ShardPolicy,
+    ShardRunReport,
+    merge_metrics_docs,
+    run_cells,
+    run_cells_supervised,
+)
+from repro.obs.export import dump_json, metrics_doc, validate_metrics_doc
+
+
+def _double(value: int) -> int:
+    return value * 2
+
+
+def _raise_error(message: str) -> None:
+    raise RuntimeError(message)
+
+
+def _sleep_forever() -> None:
+    time.sleep(3600)
+
+
+def _sigstop_self() -> None:
+    os.kill(os.getpid(), signal.SIGSTOP)
+
+
+def _kill_first_attempt(sentinel: str, value: int) -> int:
+    """SIGKILL ourselves on the first attempt; compute on the retry."""
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value * 2
+
+
+def _flaky_hotcold(sentinel: str, writes: int, separated: bool):
+    """A real experiment cell whose first attempt dies mid-run."""
+    from repro.bench.synthetic import SyntheticConfig, run_noftl_synthetic
+
+    if not os.path.exists(sentinel):
+        with open(sentinel, "w"):
+            pass
+        os.kill(os.getpid(), signal.SIGKILL)
+    return run_noftl_synthetic(SyntheticConfig(writes=writes), separated)
+
+
+class TestShardPolicy:
+    def test_defaults_are_valid(self):
+        policy = ShardPolicy()
+        assert policy.max_attempts == 2
+        assert policy.timeout_polls is None
+
+    def test_timeout_expressed_in_polls(self):
+        policy = ShardPolicy(timeout_s=1.0, poll_interval_s=0.1)
+        assert policy.timeout_polls == 10
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"timeout_s": 0.0},
+            {"timeout_s": -1.0},
+            {"retries": -1},
+            {"poll_interval_s": 0.0},
+            {"heartbeat_interval_s": -0.1},
+            {"stall_window_polls": 0},
+        ],
+    )
+    def test_invalid_knobs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ShardPolicy(**kwargs)
+
+
+class TestSequentialPath:
+    def test_single_shard_runs_inline(self):
+        report = run_cells_supervised(
+            [ShardCell("a", _double, (2,)), ShardCell("b", _double, (3,))], shards=1
+        )
+        assert report.results() == [4, 6]
+        assert not report.degraded
+        assert all(outcome.attempts == ("ok",) for outcome in report.outcomes)
+
+    def test_inline_failures_propagate_unwrapped(self):
+        with pytest.raises(RuntimeError, match="kaput"):
+            run_cells_supervised([ShardCell("a", _raise_error, ("kaput",)),
+                                  ShardCell("b", _raise_error, ("kaput",))], shards=1)
+
+
+class TestSupervisedOutcomes:
+    def test_error_cell_retries_then_degrades(self):
+        policy = ShardPolicy(retries=1, allow_degraded=True)
+        report = run_cells_supervised(
+            [
+                ShardCell("good", _double, (5,)),
+                ShardCell("bad", _raise_error, ("kaput",)),
+            ],
+            shards=2,
+            policy=policy,
+        )
+        assert report.results() == [10, None]
+        assert report.degraded and report.retried
+        (lost,) = report.lost
+        assert lost.attempts == ("error", "error")
+        assert "RuntimeError: kaput" in lost.detail
+        section = report.degraded_section()
+        assert section["lost_cells"] == ["bad"]
+        assert section["cells"]["bad"]["attempts"] == ["error", "error"]
+        report.raise_if_blocked()  # allow_degraded: no raise
+
+    def test_strict_policy_raises_instead_of_silent_success(self):
+        policy = ShardPolicy(retries=0, allow_degraded=False)
+        report = run_cells_supervised(
+            [
+                ShardCell("good", _double, (5,)),
+                ShardCell("bad", _raise_error, ("kaput",)),
+            ],
+            shards=2,
+            policy=policy,
+        )
+        with pytest.raises(ShardDegradedError, match="bad"):
+            report.raise_if_blocked()
+        try:
+            report.raise_if_blocked()
+        except ShardDegradedError as exc:
+            # survivors stay salvageable from the exception itself
+            assert exc.report.results() == [10, None]
+
+    def test_run_cells_is_always_strict(self):
+        # the legacy API promises complete results; even a permissive
+        # policy must not let it silently drop a cell
+        policy = ShardPolicy(retries=0, allow_degraded=True)
+        with pytest.raises(ShardDegradedError):
+            run_cells(
+                [
+                    ShardCell("good", _double, (1,)),
+                    ShardCell("bad", _raise_error, ("nope",)),
+                ],
+                shards=2,
+                policy=policy,
+            )
+
+    def test_hung_worker_times_out(self):
+        policy = ShardPolicy(
+            timeout_s=1.0, poll_interval_s=0.1, retries=0, allow_degraded=True
+        )
+        report = run_cells_supervised(
+            [ShardCell("hang", _sleep_forever), ShardCell("ok", _double, (1,))],
+            shards=2,
+            policy=policy,
+        )
+        assert report.results() == [None, 2]
+        (lost,) = report.lost
+        assert lost.attempts == ("timeout",)
+        assert "no result within" in lost.detail
+
+    def test_sigstopped_worker_detected_as_stalled(self):
+        policy = ShardPolicy(
+            poll_interval_s=0.05,
+            heartbeat_interval_s=0.02,
+            stall_window_polls=10,
+            retries=0,
+            allow_degraded=True,
+        )
+        report = run_cells_supervised(
+            [ShardCell("frozen", _sigstop_self), ShardCell("ok", _double, (2,))],
+            shards=2,
+            policy=policy,
+        )
+        assert report.results() == [None, 4]
+        (lost,) = report.lost
+        assert lost.attempts == ("stalled",)
+        assert "heartbeat frozen" in lost.detail
+
+    def test_sigkilled_worker_recovers_via_retry(self, tmp_path):
+        sentinel = str(tmp_path / "first-attempt")
+        report = run_cells_supervised(
+            [
+                ShardCell("flaky", _kill_first_attempt, (sentinel, 21)),
+                ShardCell("solid", _double, (4,)),
+            ],
+            shards=2,
+            policy=ShardPolicy(retries=1),
+        )
+        assert report.results() == [42, 8]
+        assert not report.degraded
+        flaky = report.outcomes[0]
+        assert flaky.attempts == ("crash", "ok")
+
+
+class TestKilledWorkerByteIdentity:
+    def test_retried_merged_doc_is_byte_identical_to_sequential(self, tmp_path):
+        """Acceptance gate: SIGKILL one worker mid-run; after the retry the
+        merged repro.obs/v1 document equals the sequential one byte for
+        byte."""
+        from repro.bench.synthetic import SyntheticConfig, run_noftl_synthetic
+
+        writes = 800
+        sentinel = str(tmp_path / "mixed-first-attempt")
+        report = run_cells_supervised(
+            [
+                ShardCell("mixed", _flaky_hotcold, (sentinel, writes, False)),
+                ShardCell("separated", _flaky_hotcold, ("/nonexistent", writes, True)),
+            ],
+            shards=2,
+            policy=ShardPolicy(retries=1),
+        )
+        assert os.path.exists(sentinel), "the kill path never ran"
+        assert report.outcomes[0].attempts == ("crash", "ok")
+        sharded_doc = merge_metrics_docs([
+            metrics_doc("hotcold", {result.name: result.metrics()})
+            for result in report.results()
+        ])
+        config = SyntheticConfig(writes=writes)
+        sequential_doc = merge_metrics_docs([
+            metrics_doc("hotcold", {result.name: result.metrics()})
+            for result in (
+                run_noftl_synthetic(config, False),
+                run_noftl_synthetic(config, True),
+            )
+        ])
+        assert dump_json(sharded_doc) == dump_json(sequential_doc)
+
+    def test_degraded_doc_names_lost_cells_and_still_validates(self):
+        report = ShardRunReport(
+            outcomes=(
+                CellOutcome(name="kept", ok=True, result={"summary": {"x": 1.0}},
+                            attempts=("ok",)),
+                CellOutcome(name="gone", ok=False, result=None,
+                            attempts=("crash", "timeout"), detail="exitcode -9"),
+            ),
+            policy=ShardPolicy(allow_degraded=True),
+        )
+        doc = metrics_doc("demo", {"kept": {"summary": {"x": 1.0}}})
+        doc["degraded"] = report.degraded_section()
+        validate_metrics_doc(doc)
+        assert doc["degraded"]["lost_cells"] == ["gone"]
+        assert doc["degraded"]["cells"]["gone"]["attempts"] == ["crash", "timeout"]

@@ -1,0 +1,77 @@
+"""The packed fast-path commands must be unreachable with hooks attached.
+
+The ``*_packed`` device commands skip the fault-injection and event hooks
+for speed.  If one were ever reached while a hook is live, scheduled
+faults would be silently skipped and events dropped — so the device
+refuses with :class:`~repro.flash.errors.PackedPathError`, and the
+mapping engine's per-call hot-path check keeps the full stack off the
+packed path whenever a hook is attached.
+"""
+
+import pytest
+
+from repro.faults import FaultInjector, FaultPlan
+from repro.flash import FlashDevice, PackedPathError, small_geometry
+
+
+@pytest.fixture
+def device():
+    return FlashDevice(small_geometry())
+
+
+def _packed_calls(device):
+    return [
+        lambda: device.program_page_packed(0, 0, 0, b"x", 1, 1, -1, 0.0),
+        lambda: device.copyback_packed(0, 0, 0, 1, 0, 0.0),
+        lambda: device.erase_block_packed(0, 1, 0.0),
+    ]
+
+
+class TestPackedGuard:
+    def test_packed_allowed_without_hooks(self, device):
+        end = device.program_page_packed(0, 0, 0, b"x", 1, 1, -1, 0.0)
+        assert end > 0.0
+        device.erase_block_packed(0, 1, 0.0)
+
+    def test_packed_rejected_with_fault_injector(self, device):
+        device.attach_fault_injector(FaultInjector(FaultPlan()))
+        for call in _packed_calls(device):
+            with pytest.raises(PackedPathError):
+                call()
+
+    def test_packed_rejected_with_event_bus(self, device):
+        device.attach_event_bus()
+        for call in _packed_calls(device):
+            with pytest.raises(PackedPathError):
+                call()
+
+    def test_guard_fires_before_any_state_change(self, device):
+        device.attach_fault_injector(FaultInjector(FaultPlan()))
+        with pytest.raises(PackedPathError):
+            device.program_page_packed(0, 0, 0, b"x", 1, 1, -1, 0.0)
+        # nothing was programmed and no stats were recorded
+        assert device.stats.programs == 0
+        assert device.dies[0].blocks[0].write_pointer == 0
+
+    def test_error_names_the_command(self, device):
+        device.attach_event_bus()
+        with pytest.raises(PackedPathError) as exc:
+            device.erase_block_packed(0, 0, 0.0)
+        assert exc.value.command == "erase_block_packed"
+        assert "erase_block_packed" in str(exc.value)
+
+    def test_engine_routes_off_packed_path_after_attach(self):
+        """Attaching an injector mid-run flips the stack to full commands."""
+        from repro.core import NoFTLStore, RegionConfig
+        from repro.flash import paper_geometry
+
+        store = NoFTLStore.create(paper_geometry(blocks_per_plane=4))
+        region = store.create_region(RegionConfig(name="rg"), num_dies=4)
+        pages = region.allocate(8)
+        t = region.write(pages[0], b"before", 0.0)
+        store.device.attach_fault_injector(FaultInjector(FaultPlan()))
+        # the guard is live now; writes must route through the full
+        # command set and still succeed
+        t = region.write(pages[1], b"after", t)
+        data, _ = region.read(pages[1], t)
+        assert data == b"after"

@@ -22,6 +22,7 @@ class TestParser:
             ["hotcold", "--writes", "500"],
             ["ftl", "--writes", "500"],
             ["recover", "--writes", "200"],
+            ["chaos", "--plans", "5", "--seed", "3", "--intensity", "medium"],
             ["report", "some.json", "--validate"],
         ):
             args = parser.parse_args(argv)
@@ -36,15 +37,34 @@ class TestParser:
             ["hotcold", "--json"],
             ["ftl", "--json"],
             ["recover", "--json"],
+            ["chaos", "--json"],
             ["report", "some.json", "--json"],
         ):
             assert parser.parse_args(argv).json is True
 
     def test_metrics_out_on_experiment_commands(self):
         parser = build_parser()
-        for cmd in ("fig3", "hotcold", "ftl"):
+        for cmd in ("fig3", "hotcold", "ftl", "chaos"):
             args = parser.parse_args([cmd, "--metrics-out", "out.json"])
             assert args.metrics_out == "out.json"
+
+    def test_supervision_flags_on_sharded_commands(self):
+        parser = build_parser()
+        for cmd in ("fig3", "hotcold", "ftl", "chaos"):
+            args = parser.parse_args([
+                cmd, "--shards", "2", "--shard-timeout", "30",
+                "--shard-retries", "2", "--allow-degraded",
+            ])
+            assert args.shards == 2
+            assert args.shard_timeout == 30.0
+            assert args.shard_retries == 2
+            assert args.allow_degraded is True
+
+    def test_supervision_defaults(self):
+        args = build_parser().parse_args(["hotcold"])
+        assert args.shard_timeout is None
+        assert args.shard_retries == 1
+        assert args.allow_degraded is False
 
 
 class TestCommands:
@@ -75,6 +95,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "recovered" in out
         assert "verified" in out
+
+    def test_chaos_small(self, capsys):
+        assert main(["chaos", "--plans", "2", "--seed", "7",
+                     "--transactions", "60"]) == 0
+        out = capsys.readouterr().out
+        assert "plan_000" in out
+        assert "control (no-plan bit-identity): ok" in out
+        assert "all recovery invariants held" in out
+
+    def test_chaos_json_validates_and_carries_verdicts(self, capsys):
+        assert main(["chaos", "--plans", "2", "--seed", "7",
+                     "--transactions", "60", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        validate_metrics_doc(doc)
+        assert doc["command"] == "chaos"
+        assert doc["chaos"]["ok"] is True
+        assert doc["configs"]["plan_000"]["summary"]["ok"] == 1.0
+        assert doc["configs"]["control"]["summary"]["bit_identical"] == 1.0
 
 
 class TestJsonOutput:
