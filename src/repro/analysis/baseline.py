@@ -1,0 +1,110 @@
+"""Baseline (suppression) files: land strict rules without big-bang cleanups.
+
+A baseline is a checked-in JSON document of *known* violations.  A lint
+run filtered through a baseline reports only findings **not** in the
+file, so a new rule can ship enforcing immediately for new code while
+the pre-existing debt is burned down separately.  The repo's own
+baseline (``lint-baseline.json``) is empty — PR 10 fixed everything the
+new rules surfaced — and the self-check pins it empty; the mechanism
+exists for downstream forks and for staging future rules.
+
+Matching is by fingerprint ``(rule, path, message)`` and deliberately
+ignores line numbers: unrelated edits move code, and a baseline that
+churns on every reflow trains people to regenerate it blindly (at which
+point it suppresses everything).  Two identical violations in one file
+count: the baseline stores each fingerprint with a count, and a run may
+use at most that many matches.
+
+Format (``repro.lint-baseline/v1``)::
+
+    {
+      "schema": "repro.lint-baseline/v1",
+      "entries": [
+        {"rule": "...", "path": "...", "message": "...", "count": 1},
+        ...
+      ]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from dataclasses import replace as dc_replace
+from pathlib import Path
+
+from repro.analysis.core import LintResult, Violation
+
+#: schema tag for baseline documents
+BASELINE_SCHEMA_VERSION = "repro.lint-baseline/v1"
+
+
+class BaselineError(ValueError):
+    """A baseline file is malformed or has the wrong schema tag."""
+
+
+def _fingerprint(violation: Violation) -> tuple[str, str, str]:
+    return (violation.rule_id, violation.path, violation.message)
+
+
+def render_baseline(result: LintResult) -> str:
+    """Serialize the run's violations as a baseline document."""
+    counts = Counter(_fingerprint(v) for v in result.violations)
+    entries = [
+        {"rule": rule, "path": path, "message": message, "count": count}
+        for (rule, path, message), count in sorted(counts.items())
+    ]
+    document = {"schema": BASELINE_SCHEMA_VERSION, "entries": entries}
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+def load_baseline(path: str | Path) -> Counter[tuple[str, str, str]]:
+    """Parse a baseline file into fingerprint counts.
+
+    Raises :class:`BaselineError` for unreadable JSON, a wrong schema
+    tag, or entries missing required keys — a malformed baseline must
+    fail the run loudly rather than silently suppress nothing.
+    """
+    try:
+        raw = json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(raw, dict) or raw.get("schema") != BASELINE_SCHEMA_VERSION:
+        raise BaselineError(
+            f"baseline {path} has schema {raw.get('schema') if isinstance(raw, dict) else raw!r}; "
+            f"want {BASELINE_SCHEMA_VERSION}"
+        )
+    entries = raw.get("entries")
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: 'entries' must be a list")
+    counts: Counter[tuple[str, str, str]] = Counter()
+    for entry in entries:
+        if not isinstance(entry, dict) or not {"rule", "path", "message"} <= set(entry):
+            raise BaselineError(
+                f"baseline {path}: each entry needs rule/path/message keys, got {entry!r}"
+            )
+        count = entry.get("count", 1)
+        if not isinstance(count, int) or count < 1:
+            raise BaselineError(f"baseline {path}: count must be a positive int in {entry!r}")
+        counts[(entry["rule"], entry["path"], entry["message"])] += count
+    return counts
+
+
+def apply_baseline(
+    result: LintResult, baseline: Counter[tuple[str, str, str]]
+) -> LintResult:
+    """A copy of ``result`` with baselined violations removed.
+
+    Each baseline fingerprint absorbs up to ``count`` matching
+    violations (line numbers ignored); everything else passes through,
+    and the exit code is recomputed from what remains.
+    """
+    budget = Counter(baseline)
+    kept: list[Violation] = []
+    for violation in result.violations:
+        key = _fingerprint(violation)
+        if budget[key] > 0:
+            budget[key] -= 1
+        else:
+            kept.append(violation)
+    return dc_replace(result, violations=kept)

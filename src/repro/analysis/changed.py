@@ -1,0 +1,77 @@
+"""Git-changed file discovery for ``repro lint --changed``.
+
+``--changed`` lints only the modules a change touches — but the engine
+still parses and indexes the *whole* input tree, because the new
+whole-program rules are only sound over the full call graph (a changed
+callee can create a violation whose best report site is unchanged code;
+conversely an unchanged module is needed to resolve a changed call).
+So ``--changed`` is purely a *report filter*: full analysis, findings
+restricted to the changed display paths (see ``LintEngine.run``'s
+``report_only``).
+
+The changed set is the union of:
+
+* files differing from ``<base>`` (``git diff --name-only <base>``)
+  when a base ref is given — the PR use case;
+* otherwise, working-tree changes: staged, unstaged and untracked
+  (``git status --porcelain``) — the pre-commit use case.
+
+Only ``.py`` paths are kept.  Running outside a git checkout (or with
+git missing) raises :class:`ChangedFilesError`; callers decide whether
+that is fatal (the CLI exits 2 — silently linting nothing would be
+worse than failing).
+"""
+
+from __future__ import annotations
+
+import subprocess
+from pathlib import Path
+
+
+class ChangedFilesError(RuntimeError):
+    """git could not produce a changed-file list."""
+
+
+def _run_git(args: list[str], cwd: Path) -> str:
+    try:
+        proc = subprocess.run(
+            ["git", *args],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=30,
+        )
+    except (OSError, subprocess.TimeoutExpired) as exc:
+        raise ChangedFilesError(f"git {' '.join(args)}: {exc}") from exc
+    if proc.returncode != 0:
+        raise ChangedFilesError(
+            f"git {' '.join(args)} failed: {proc.stderr.strip() or proc.returncode}"
+        )
+    return proc.stdout
+
+
+def changed_python_files(
+    base: str | None = None, *, cwd: str | Path = "."
+) -> set[str]:
+    """Repo-root-relative posix paths of changed ``.py`` files.
+
+    With ``base``, the diff is against that ref (three-dot semantics are
+    the caller's choice — pass ``origin/main...`` if merge-base diffing
+    is wanted).  Without it, staged + unstaged + untracked changes.
+    """
+    cwd = Path(cwd)
+    files: set[str] = set()
+    if base is not None:
+        out = _run_git(["diff", "--name-only", base], cwd)
+        files.update(line.strip() for line in out.splitlines() if line.strip())
+    else:
+        out = _run_git(["status", "--porcelain"], cwd)
+        for line in out.splitlines():
+            if len(line) < 4:
+                continue
+            payload = line[3:]
+            # renames are reported as "old -> new"; the new path is live
+            if " -> " in payload:
+                payload = payload.split(" -> ", 1)[1]
+            files.add(payload.strip().strip('"'))
+    return {f for f in files if f.endswith(".py")}

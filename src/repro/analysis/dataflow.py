@@ -1,0 +1,279 @@
+"""Forward taint dataflow over the project call graph.
+
+A deliberately small framework: taint *labels* (plain strings) attach to
+expressions at **source** call sites, propagate through assignments
+inside each function, and cross function boundaries along the
+:class:`~repro.analysis.callgraph.ProjectIndex` call edges — arguments
+into parameters, returned expressions back to call results — iterated to
+a fixpoint.  Module top-level code participates as a pseudo-function, so
+``SEED = time.time()`` in one module taints ``Random(SEED)`` in another.
+
+The abstraction is a may-analysis on names: ``env[name]`` is the set of
+labels the name *may* carry on some path.  Compound expressions union
+their children's labels, and calls whose callee is unknown pass their
+arguments' taint through to the result (``int(time.time())`` stays
+tainted).  That over-approximates — flow through containers, attributes
+and formatting all count — which is the right polarity for lint rules:
+a lost label would silently waive an invariant, an extra one at worst
+asks for a pragma with a written justification.
+
+Rules instantiate :class:`TaintAnalysis` with a *labeler* — a callable
+mapping a call expression to the label it sources, if any — run it once
+over the index, and then query ``expr_labels`` at the sites they care
+about.  See ``rules/rngflow.py`` for the one consumer in-tree.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Callable
+
+from repro.analysis.callgraph import (
+    MODULE_BODY,
+    FunctionInfo,
+    ModuleIndex,
+    ProjectIndex,
+)
+from repro.analysis.astutil import dotted_name
+
+#: maps a call node to the taint label it sources, or None
+Labeler = Callable[[ast.Call, ModuleIndex], str | None]
+
+
+class TaintAnalysis:
+    """Inter-procedural forward taint propagation to fixpoint."""
+
+    def __init__(self, index: ProjectIndex, labeler: Labeler) -> None:
+        self.index = index
+        self.labeler = labeler
+        #: owner qualname -> name -> labels (owner = function or module body)
+        self.envs: dict[str, dict[str, set[str]]] = {}
+        #: function qualname -> labels its return value may carry
+        self.returns: dict[str, set[str]] = {}
+        #: function qualname -> param name -> labels flowing in from callers
+        self.params: dict[str, dict[str, set[str]]] = {}
+        #: module name -> global name -> labels (module-level bindings)
+        self.globals: dict[str, dict[str, set[str]]] = {}
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Fixpoint driver
+    # ------------------------------------------------------------------
+    def run(self) -> "TaintAnalysis":
+        """Iterate all owners to a fixpoint; idempotent."""
+        if self._ran:
+            return self
+        self._ran = True
+        owners: list[str] = [
+            f"{MODULE_BODY}.{name}" for name in self.index.modules
+        ] + list(self.index.functions)
+        queue: deque[str] = deque(owners)
+        queued = set(owners)
+        while queue:
+            owner = queue.popleft()
+            queued.discard(owner)
+            changed = self._analyze_owner(owner)
+            for dirty in changed:
+                if dirty not in queued:
+                    queue.append(dirty)
+                    queued.add(dirty)
+        return self
+
+    def _analyze_owner(self, owner: str) -> set[str]:
+        """Re-analyze one owner; return owners whose inputs changed."""
+        if owner.startswith(f"{MODULE_BODY}."):
+            module_name = owner[len(MODULE_BODY) + 1 :]
+            mod = self.index.modules.get(module_name)
+            if mod is None:
+                return set()
+            body = mod.source.tree.body
+            func_info = None
+        else:
+            func_info = self.index.functions.get(owner)
+            if func_info is None:
+                return set()
+            mod = self.index.modules.get(func_info.module)
+            if mod is None:
+                return set()
+            body = func_info.node.body
+
+        env = self.envs.setdefault(owner, {})
+        if func_info is not None:
+            for param, labels in self.params.get(owner, {}).items():
+                if labels - env.get(param, set()):
+                    env.setdefault(param, set()).update(labels)
+
+        dirty: set[str] = set()
+        # statement-order pass, repeated until the env stops growing —
+        # function bodies are small, so the inner fixpoint is cheap
+        while True:
+            before = {name: set(labels) for name, labels in env.items()}
+            for stmt in body:
+                self._visit_stmt(stmt, owner, mod, func_info, env, dirty)
+            if {n: s for n, s in env.items()} == before:
+                break
+
+        if func_info is None:
+            # export module globals so cross-module Name loads see them
+            exported = self.globals.setdefault(mod.name, {})
+            for name, labels in env.items():
+                if name in mod.globals and labels - exported.get(name, set()):
+                    exported.setdefault(name, set()).update(labels)
+                    # any owner reading this global may now be stale; the
+                    # cheap over-approximation is to requeue the whole
+                    # module's functions plus known callers of nothing —
+                    # readers resolve lazily, so requeue all functions of
+                    # modules importing this one is overkill; instead we
+                    # requeue every function (bounded by label count).
+                    dirty.update(self.index.functions)
+        return dirty
+
+    def _visit_stmt(
+        self,
+        stmt: ast.stmt,
+        owner: str,
+        mod: ModuleIndex,
+        func_info: FunctionInfo | None,
+        env: dict[str, set[str]],
+        dirty: set[str],
+    ) -> None:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call):
+                self._propagate_call(node, owner, mod, env, dirty)
+            elif isinstance(node, ast.Return) and node.value is not None:
+                if func_info is not None:
+                    labels = self._expr_labels(node.value, mod, env)
+                    if labels - self.returns.get(owner, set()):
+                        self.returns.setdefault(owner, set()).update(labels)
+                        for edge in self.index.calls_to(owner):
+                            dirty.add(edge.caller)
+            elif isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                value = node.value
+                if value is None:
+                    continue
+                labels = self._expr_labels(value, mod, env)
+                if not labels:
+                    continue
+                targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+                for target in targets:
+                    for leaf in ast.walk(target):
+                        if isinstance(leaf, ast.Name):
+                            env.setdefault(leaf.id, set()).update(labels)
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                labels = self._expr_labels(node.iter, mod, env)
+                if labels:
+                    for leaf in ast.walk(node.target):
+                        if isinstance(leaf, ast.Name):
+                            env.setdefault(leaf.id, set()).update(labels)
+
+    def _propagate_call(
+        self,
+        call: ast.Call,
+        owner: str,
+        mod: ModuleIndex,
+        env: dict[str, set[str]],
+        dirty: set[str],
+    ) -> None:
+        """Push argument taint into a resolved callee's parameters."""
+        callee = self.index.resolve_call(mod, call, mod.source)
+        info = self.index.functions.get(callee) if callee is not None else None
+        if info is None or callee is None:
+            return
+        param_names = _positional_params(info, call)
+        sink = self.params.setdefault(callee, {})
+        changed = False
+        for position, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            labels = self._expr_labels(arg, mod, env)
+            if labels and position < len(param_names):
+                param = param_names[position]
+                if labels - sink.get(param, set()):
+                    sink.setdefault(param, set()).update(labels)
+                    changed = True
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue
+            labels = self._expr_labels(keyword.value, mod, env)
+            if labels and labels - sink.get(keyword.arg, set()):
+                sink.setdefault(keyword.arg, set()).update(labels)
+                changed = True
+        if changed:
+            dirty.add(callee)
+
+    # ------------------------------------------------------------------
+    # Expression labelling
+    # ------------------------------------------------------------------
+    def _expr_labels(
+        self, expr: ast.expr, mod: ModuleIndex, env: dict[str, set[str]]
+    ) -> set[str]:
+        labels: set[str] = set()
+        for node in ast.walk(expr):
+            if isinstance(node, ast.Call):
+                sourced = self.labeler(node, mod)
+                if sourced is not None:
+                    labels.add(sourced)
+                callee = self.index.resolve_call(mod, node, mod.source)
+                if callee is not None and callee in self.returns:
+                    labels |= self.returns[callee]
+            elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+                if node.id in env:
+                    labels |= env[node.id]
+                else:
+                    labels |= self._global_labels(mod, node.id)
+        return labels
+
+    def _global_labels(self, mod: ModuleIndex, name: str) -> set[str]:
+        """Labels of a module global, following from-import bindings."""
+        if name in mod.globals:
+            return self.globals.get(mod.name, {}).get(name, set())
+        target = mod.imports.get(name)
+        if target is None:
+            return set()
+        owner_module, _, bound = target.rpartition(".")
+        if owner_module in self.index.modules and bound:
+            return self.globals.get(owner_module, {}).get(bound, set())
+        return set()
+
+    # ------------------------------------------------------------------
+    # Queries (for rules, after run())
+    # ------------------------------------------------------------------
+    def expr_labels(self, owner: str, expr: ast.expr) -> set[str]:
+        """Labels ``expr`` may carry, evaluated in ``owner``'s final env.
+
+        ``owner`` is a function qualname or ``<module>.<name>`` pseudo
+        node (see :data:`~repro.analysis.callgraph.MODULE_BODY`).
+        """
+        if owner.startswith(f"{MODULE_BODY}."):
+            mod = self.index.modules.get(owner[len(MODULE_BODY) + 1 :])
+        else:
+            info = self.index.functions.get(owner)
+            mod = self.index.modules.get(info.module) if info is not None else None
+        if mod is None:
+            return set()
+        return self._expr_labels(expr, mod, self.envs.get(owner, {}))
+
+
+def _positional_params(info: FunctionInfo, call: ast.Call) -> list[str]:
+    """Callee parameter names aligned with the call's positional args.
+
+    Methods invoked through a receiver (``obj.m(...)``, ``self.m(...)``)
+    bind their first parameter implicitly, so it is skipped; plain
+    function calls and explicit ``Class.method(obj, ...)`` forms keep
+    the full list.  Constructors resolved from ``Class(...)`` also skip
+    ``self``.
+    """
+    args = info.node.args
+    names = [a.arg for a in (*args.posonlyargs, *args.args)]
+    bound_receiver = False
+    if info.class_qualname is not None:
+        if info.name == "__init__":
+            dotted = dotted_name(call.func)
+            # `Class(...)` or `mod.Class(...)` — not a literal __init__ call
+            bound_receiver = dotted is None or not dotted.endswith("__init__")
+        else:
+            bound_receiver = isinstance(call.func, ast.Attribute)
+    if bound_receiver and names:
+        names = names[1:]
+    return names

@@ -1,8 +1,9 @@
 """The repo-specific rule catalogue.
 
 ``build_rules()`` returns fresh instances of every shipped rule —
-fresh because project-wide rules (counter hygiene) accumulate state in
-``collect`` and must not leak between engine runs.
+fresh because project-wide rules (counter hygiene, the call-graph
+rules) accumulate state in ``collect``/``check`` and must not leak
+between engine runs.
 """
 
 from __future__ import annotations
@@ -16,6 +17,10 @@ from repro.analysis.rules.determinism import (
 )
 from repro.analysis.rules.guards import OptionalHookGuardRule
 from repro.analysis.rules.hygiene import UnusedImportRule
+from repro.analysis.rules.packed import PackedTypestateRule
+from repro.analysis.rules.raises import TypedRaiseRule
+from repro.analysis.rules.rngflow import RngFlowRule
+from repro.analysis.rules.sharding import PartitionClosureRule
 
 
 def build_rules() -> list[Rule]:
@@ -24,10 +29,14 @@ def build_rules() -> list[Rule]:
         WallClockRule(),
         UnseededRandomRule(),
         SetIterationRule(),
+        RngFlowRule(),
         OptionalHookGuardRule(),
         CounterIntDriftRule(),
         CounterDocCoverageRule(),
         UnusedImportRule(),
+        PackedTypestateRule(),
+        PartitionClosureRule(),
+        TypedRaiseRule(),
     ]
 
 
@@ -35,7 +44,11 @@ __all__ = [
     "CounterDocCoverageRule",
     "CounterIntDriftRule",
     "OptionalHookGuardRule",
+    "PackedTypestateRule",
+    "PartitionClosureRule",
+    "RngFlowRule",
     "SetIterationRule",
+    "TypedRaiseRule",
     "UnseededRandomRule",
     "UnusedImportRule",
     "WallClockRule",

@@ -81,6 +81,7 @@ class _StatsModelMixin(Rule):
     """Shared phase-1 collection of stats-class shapes and mutation sites."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._classes: dict[str, _StatsClass] = {}
         self._pending_mutations: list[tuple[SourceModule, ast.AST, str, ast.expr | None]] = []
 

@@ -1,0 +1,207 @@
+"""Packed-path typestate: ``*_packed`` device commands stay observer-free.
+
+The packed fast paths (PR 8) skip fault injection and event emission for
+speed; PR 9 added a runtime guard — every packed command raises
+``PackedPathError`` if ``self.faults`` or ``self.events`` is attached.
+``packed.typestate`` makes that guard *statically redundant*: it proves,
+at lint time, that no call path reaches a packed command from a context
+where an observer may be attached, so the runtime raise is dead code
+kept only as defence in depth.
+
+Two obligations:
+
+* **Definition side** — every method named ``*_packed`` on a device-like
+  class (one that binds both ``faults`` and ``events`` attributes) must
+  open with the canonical terminating guard::
+
+      if self.faults is not None or self.events is not None:
+          raise PackedPathError(...)
+
+  Deleting or weakening that guard is a violation, which is exactly the
+  regression the mutated-fixture test simulates.
+
+* **Call side** — every call ``recv.X_packed(...)`` whose receiver
+  resolves to a device-like class must sit on a path where *both*
+  ``recv.faults`` and ``recv.events`` are proven ``None``: an enclosing
+  ``if recv.faults is None and recv.events is None:`` branch, a
+  dominating early-raise guard, or an ``assert``.  The engine's alias
+  idiom (``device = self.device`` then guarding ``device.*``) is
+  followed through simple local aliases in both directions.
+
+Receivers the index cannot type (subscripted bookkeeping lookups like
+``books_map[odie].invalidate_packed(...)``) are skipped — those are not
+device commands; the per-class ``faults``/``events`` shape is what
+scopes the rule.  The guarantee is therefore exactly as strong as the
+receiver typing: annotated parameters, ``Class(...)`` constructions and
+``__init__`` attribute assignments all resolve.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import (
+    dotted_name,
+    enclosing_function,
+    is_proven_none,
+    none_proven_targets,
+)
+from repro.analysis.core import Rule, SourceModule, Violation
+from repro.analysis.callgraph import ProjectIndex
+
+#: the observer attributes whose absence legalises the packed path
+_OBSERVER_ATTRS = ("faults", "events")
+
+
+def _is_device_like(index: ProjectIndex, class_qualname: str) -> bool:
+    info = index.classes.get(class_qualname)
+    return info is not None and all(a in info.attrs for a in _OBSERVER_ATTRS)
+
+
+class PackedTypestateRule(Rule):
+    id = "packed.typestate"
+    summary = (
+        "*_packed device commands keep their PackedPathError guard and are "
+        "only called where faults/events are proven None"
+    )
+    needs_project = True
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        index = self.project
+        if index is None:
+            return
+        yield from self._check_definitions(index, module)
+        yield from self._check_call_sites(index, module)
+
+    # ------------------------------------------------------------------
+    # Definition side: the canonical guard must open every packed command
+    # ------------------------------------------------------------------
+    def _check_definitions(
+        self, index: ProjectIndex, module: SourceModule
+    ) -> Iterator[Violation]:
+        for info in index.functions_in(module):
+            if not info.name.endswith("_packed") or info.class_qualname is None:
+                continue
+            if not _is_device_like(index, info.class_qualname):
+                continue
+            if not self._has_guard(info.node):
+                yield self.violation(
+                    module, info.node,
+                    f"packed command `{info.name}` lacks the leading "
+                    "`if self.faults is not None or self.events is not None: "
+                    "raise PackedPathError(...)` guard; the packed fast path "
+                    "is only legal observer-free",
+                )
+
+    @staticmethod
+    def _has_guard(func: ast.FunctionDef | ast.AsyncFunctionDef) -> bool:
+        body = func.body
+        # skip a docstring
+        start = 1 if body and isinstance(body[0], ast.Expr) and isinstance(
+            body[0].value, ast.Constant
+        ) else 0
+        for stmt in body[start:]:
+            if not isinstance(stmt, ast.If):
+                return False
+            if stmt.orelse or not stmt.body:
+                return False
+            raises_packed = any(
+                isinstance(inner, ast.Raise)
+                and inner.exc is not None
+                and _raises_packed_path_error(inner.exc)
+                for inner in stmt.body
+            )
+            terminates = isinstance(stmt.body[-1], ast.Raise)
+            proven = none_proven_targets(stmt.test, when_true=False)
+            if (
+                raises_packed
+                and terminates
+                and {"self.faults", "self.events"} <= proven
+            ):
+                return True
+            return False  # first real statement is a different If
+        return False
+
+    # ------------------------------------------------------------------
+    # Call side: both observer attrs proven None at every packed call
+    # ------------------------------------------------------------------
+    def _check_call_sites(
+        self, index: ProjectIndex, module: SourceModule
+    ) -> Iterator[Violation]:
+        mod = index.module_of(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr.endswith("_packed")
+            ):
+                continue
+            callee = index.resolve_call(mod, node, module)
+            if callee is None:
+                continue  # untypeable receiver: not provably a device command
+            callee_info = index.functions.get(callee)
+            if (
+                callee_info is None
+                or callee_info.class_qualname is None
+                or not _is_device_like(index, callee_info.class_qualname)
+            ):
+                continue
+            receiver = dotted_name(node.func.value)
+            if receiver is None:
+                continue
+            func = enclosing_function(node, module.parents)
+            if func is not None and func is callee_info.node:
+                continue  # recursive self-call inside the guarded body
+            bases = self._receiver_bases(receiver, func)
+            if not any(
+                all(
+                    is_proven_none(node, f"{base}.{attr}", module.parents)
+                    for attr in _OBSERVER_ATTRS
+                )
+                for base in bases
+            ):
+                yield self.violation(
+                    module, node,
+                    f"packed command `{receiver}.{node.func.attr}(...)` called "
+                    f"without proving `{receiver}.faults is None and "
+                    f"{receiver}.events is None` on this path; guard the call "
+                    "or take the observable slow path",
+                )
+
+    @staticmethod
+    def _receiver_bases(
+        receiver: str, func: ast.FunctionDef | ast.AsyncFunctionDef | None
+    ) -> list[str]:
+        """Candidate dotted bases a guard may test for this receiver.
+
+        ``device = self.device`` makes a guard on either ``device.*`` or
+        ``self.device.*`` prove the other; simple single-target alias
+        assignments are followed one step in both directions.
+        """
+        bases = [receiver]
+        if func is None:
+            return bases
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target = node.targets[0]
+            source = dotted_name(node.value)
+            if not isinstance(target, ast.Name) or source is None:
+                continue
+            if target.id == receiver:
+                bases.append(source)          # guard written on the source chain
+            elif source == receiver:
+                bases.append(target.id)       # guard written on the alias
+        return bases
+
+
+def _raises_packed_path_error(exc: ast.expr) -> bool:
+    if isinstance(exc, ast.Call):
+        exc = exc.func
+    name = dotted_name(exc)
+    return name is not None and name.split(".")[-1] == "PackedPathError"
+
+
+__all__ = ["PackedTypestateRule"]

@@ -1,0 +1,203 @@
+"""RNG flow discipline: every simulation RNG is deterministically seeded.
+
+``determinism.unseeded-random`` (PR 4) already bans seedless
+``random.Random()`` *inside* the sim packages.  What it cannot see is
+flow: an RNG constructed from ambient entropy two calls away, a seed
+smuggled through ``hash()`` (PYTHONHASHSEED-dependent), an unseeded RNG
+built host-side and handed into sim code, or a module-level RNG instance
+shared by every importer — and, under sharding, pickled into every cell.
+``determinism.rng-flow`` closes those with the taint framework:
+
+* ``rng-entropy-seed`` — ``random.Random(seed)`` anywhere in the project
+  where the seed expression may carry the ``entropy`` label (wall-clock
+  reads, ``os.urandom``, ``uuid4`` … propagated inter-procedurally
+  through assignments, parameters and returns).
+* ``rng-hash-seed`` — a seed expression containing a builtin ``hash()``
+  call: ``hash()`` of a str/bytes varies with ``PYTHONHASHSEED``, so two
+  processes disagree.  (Seeding from ints or literal strings is fine —
+  ``random.Random`` hashes str seeds with SHA-512, not ``hash()``.)
+* ``rng-into-sim`` — a value that may be an *unseeded* RNG passed as an
+  argument to a function defined in a sim-scope module (the scope of
+  :data:`~repro.analysis.rules.determinism.SIM_PACKAGES`).
+* ``rng-module-level`` — ``NAME = random.Random(...)`` bound at module
+  top level in any project module: one instance shared across importers
+  and across shard cells is cross-cell state, seeded or not.
+
+The labels are a may-analysis: flow through containers and formatting
+counts, so a false positive asks for a justified pragma rather than a
+lost invariant.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import dotted_name, enclosing_class, enclosing_function
+from repro.analysis.core import Rule, SourceModule, Violation
+from repro.analysis.callgraph import MODULE_BODY, ModuleIndex, ProjectIndex
+from repro.analysis.dataflow import TaintAnalysis
+from repro.analysis.rules.determinism import SIM_PACKAGES, _WALLCLOCK_SUFFIXES
+
+#: taint labels
+ENTROPY = "entropy"
+UNSEEDED_RNG = "unseeded-rng"
+
+
+def _entropy_labeler(call: ast.Call, mod: ModuleIndex) -> str | None:
+    """Label entropy sources and unseeded-RNG constructions."""
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return None
+    resolved = mod.resolve(dotted) or dotted
+    for suffix in _WALLCLOCK_SUFFIXES:
+        if resolved == suffix or resolved.endswith("." + suffix):
+            return ENTROPY
+    if resolved in ("random.Random", "random.SystemRandom"):
+        if not call.args and not call.keywords:
+            return UNSEEDED_RNG
+        if resolved == "random.SystemRandom":
+            return UNSEEDED_RNG  # OS entropy regardless of arguments
+    return None
+
+
+def _is_rng_construction(call: ast.Call, mod: ModuleIndex) -> bool:
+    dotted = dotted_name(call.func)
+    if dotted is None:
+        return False
+    resolved = mod.resolve(dotted) or dotted
+    return resolved in ("random.Random", "random.SystemRandom")
+
+
+def _contains_hash_call(expr: ast.expr) -> bool:
+    return any(
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "hash"
+        for node in ast.walk(expr)
+    )
+
+
+class RngFlowRule(Rule):
+    id = "determinism.rng-flow"
+    summary = (
+        "random.Random seeds must not derive from entropy or hash(); "
+        "unseeded RNGs must not flow into sim scope or live at module level"
+    )
+    needs_project = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._taint: TaintAnalysis | None = None
+
+    def _analysis(self) -> TaintAnalysis | None:
+        if self._taint is None and self.project is not None:
+            self._taint = TaintAnalysis(self.project, _entropy_labeler).run()
+        return self._taint
+
+    def finish(self) -> Iterator[Violation]:
+        self._taint = None  # fresh fixpoint if this instance is reused
+        return iter(())
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        index = self.project
+        taint = self._analysis()
+        if index is None or taint is None:
+            return
+        mod = index.module_of(module)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            owner = self._owner_of(mod, module, node)
+            if _is_rng_construction(node, mod):
+                yield from self._check_construction(taint, mod, module, node, owner)
+            yield from self._check_sim_args(index, taint, mod, module, node, owner)
+        yield from self._check_module_level(mod, module)
+
+    # ------------------------------------------------------------------
+    def _check_construction(
+        self,
+        taint: TaintAnalysis,
+        mod: ModuleIndex,
+        module: SourceModule,
+        node: ast.Call,
+        owner: str,
+    ) -> Iterator[Violation]:
+        seeds = list(node.args) + [kw.value for kw in node.keywords]
+        for seed in seeds:
+            if ENTROPY in taint.expr_labels(owner, seed):
+                yield self.violation(
+                    module, node,
+                    "random.Random seeded from ambient entropy (wall clock / "
+                    "urandom / uuid flow); derive the seed from configuration "
+                    "so runs replay bit-identically",
+                )
+            elif _contains_hash_call(seed):
+                yield self.violation(
+                    module, node,
+                    "random.Random seed built with hash(): hash() of str/bytes "
+                    "varies with PYTHONHASHSEED across processes; seed from "
+                    "the value itself (str seeds use SHA-512 internally)",
+                )
+
+    def _check_sim_args(
+        self,
+        index: ProjectIndex,
+        taint: TaintAnalysis,
+        mod: ModuleIndex,
+        module: SourceModule,
+        node: ast.Call,
+        owner: str,
+    ) -> Iterator[Violation]:
+        if module.rel_path.startswith(SIM_PACKAGES):
+            return  # in-scope construction is determinism.unseeded-random's job
+        callee = index.resolve_call(mod, node, module)
+        info = index.functions.get(callee) if callee is not None else None
+        if info is None or not info.source.rel_path.startswith(SIM_PACKAGES):
+            return
+        args = list(node.args) + [kw.value for kw in node.keywords]
+        for arg in args:
+            if UNSEEDED_RNG in taint.expr_labels(owner, arg):
+                yield self.violation(
+                    module, node,
+                    f"possibly unseeded RNG flows into simulation scope "
+                    f"(`{info.qualname}`); construct a seeded random.Random "
+                    "and pass that instead",
+                )
+                break
+
+    def _check_module_level(
+        self, mod: ModuleIndex, module: SourceModule
+    ) -> Iterator[Violation]:
+        for stmt in module.tree.body:
+            targets: list[ast.expr] = []
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign):
+                targets, value = stmt.targets, stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                targets, value = [stmt.target], stmt.value
+            if value is None or not isinstance(value, ast.Call):
+                continue
+            if _is_rng_construction(value, mod):
+                names = ", ".join(
+                    t.id for t in targets if isinstance(t, ast.Name)
+                ) or "<binding>"
+                yield self.violation(
+                    module, stmt,
+                    f"module-level RNG `{names}` is shared by every importer "
+                    "and pickled into every shard cell; construct per-run "
+                    "instances inside the function that uses them",
+                )
+
+    @staticmethod
+    def _owner_of(mod: ModuleIndex, module: SourceModule, node: ast.AST) -> str:
+        func = enclosing_function(node, module.parents)
+        if func is None:
+            return f"{MODULE_BODY}.{mod.name}"
+        cls = enclosing_class(func, module.parents)
+        if cls is not None:
+            return f"{mod.name}.{cls.name}.{func.name}"
+        return f"{mod.name}.{func.name}"
+
+
+__all__ = ["RngFlowRule"]

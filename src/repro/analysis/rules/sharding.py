@@ -1,0 +1,291 @@
+"""Partition closure: shard workers must not touch module-level mutable state.
+
+The sharded runner (PR 8) promises that N worker processes merge
+byte-identically with a sequential run.  That holds because each
+:class:`~repro.bench.sharding.ShardCell` *owns* its device — the cells
+are partition-closed by construction.  Module-level mutable state is the
+one way to silently break that: a module-global dict written from a
+worker exists once per process, so sequential and sharded runs see
+different contents and the merge diverges.
+
+``sharding.partition-closure`` walks the project call graph from the
+worker entry points — every function handed to a ``ShardCell`` as its
+``fn`` plus the supervisor's worker-side ``_cell_entry`` — and flags, in
+any function reachable from them (call *and* first-class reference
+edges):
+
+* a **write** to a module-level name (``global`` assignment, augmented
+  assignment, subscript/attribute stores, or a known mutating method
+  call like ``.append``/``.update``/``.pop``);
+* a **read** of a module-level binding whose value is a mutable
+  container (list/dict/set displays or constructors) — reading is
+  already a hazard, because the content depends on what else ran in
+  that process.
+
+One carve-out keeps the registry idiom legal: a mutable global may be
+*read* if every function that writes it is only ever called from module
+top-level code (import-time registration — ``register_gc_policy`` in
+``repro.policies``) and no worker-reachable function writes it.  Workers
+in every process then see the same post-import contents.  If a
+registration function ever becomes worker-reachable, the write check
+fires and the carve-out is void.
+
+Call-graph resolution is conservative: an unresolvable call contributes
+no edge, so reachability (and therefore this rule) under-approximates
+through dynamic dispatch the index cannot see.  The fixture pair under
+``tests/analysis/fixtures/repro/bench`` pins both polarities.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator
+
+from repro.analysis.astutil import dotted_name
+from repro.analysis.core import Rule, SourceModule, Violation
+from repro.analysis.callgraph import (
+    MODULE_BODY,
+    FunctionInfo,
+    GlobalInfo,
+    ModuleIndex,
+    ProjectIndex,
+    local_bound_names,
+)
+
+#: worker-side entry the supervisor spawns directly
+_SUPERVISOR_ENTRY = "_cell_entry"
+
+#: method names that mutate their receiver in place
+_MUTATING_METHODS = frozenset({
+    "append", "add", "update", "pop", "popitem", "clear", "extend",
+    "remove", "discard", "insert", "setdefault", "appendleft",
+    "extendleft", "sort", "reverse",
+})
+
+
+class PartitionClosureRule(Rule):
+    id = "sharding.partition-closure"
+    summary = (
+        "no module-level mutable state read or written on any call path "
+        "from shard-worker entry points (cross-process merge hazard)"
+    )
+    needs_project = True
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._violations: dict[int, list[Violation]] | None = None
+
+    def check(self, module: SourceModule) -> Iterator[Violation]:
+        self._ensure_analysis()
+        assert self._violations is not None
+        yield from self._violations.get(id(module), [])
+
+    # ------------------------------------------------------------------
+    # Whole-program pass (runs once, on the first check call)
+    # ------------------------------------------------------------------
+    def _ensure_analysis(self) -> None:
+        if self._violations is not None:
+            return
+        self._violations = {}
+        index = self.project
+        if index is None:
+            return
+        entries = self._worker_entries(index)
+        reachable = index.reachable_from(entries)
+        init_only_writers = self._init_only_writers(index, reachable)
+        for qualname in sorted(reachable):
+            info = index.functions[qualname]
+            for violation in self._check_function(index, info, init_only_writers):
+                self._violations.setdefault(id(info.source), []).append(violation)
+
+    def _worker_entries(self, index: ProjectIndex) -> set[str]:
+        """Functions handed to ShardCell(...) + the supervisor entry."""
+        entries: set[str] = set()
+        for qualname, info in index.functions.items():
+            if info.name == _SUPERVISOR_ENTRY and info.module.endswith("supervisor"):
+                entries.add(qualname)
+        for mod in index.modules.values():
+            for node in ast.walk(mod.source.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = dotted_name(node.func)
+                resolved = mod.resolve(dotted) if dotted is not None else None
+                target_class = resolved
+                if resolved in index.functions:
+                    fn_info = index.functions[resolved]
+                    if fn_info.name != "__init__":
+                        continue
+                    target_class = fn_info.class_qualname
+                if target_class is None or not target_class.endswith(".ShardCell"):
+                    continue
+                # dataclass signature: ShardCell(name, fn, args=())
+                candidates: list[ast.expr] = []
+                if len(node.args) >= 2:
+                    candidates.append(node.args[1])
+                for keyword in node.keywords:
+                    if keyword.arg == "fn":
+                        candidates.append(keyword.value)
+                for candidate in candidates:
+                    fn_dotted = dotted_name(candidate)
+                    fn_resolved = mod.resolve(fn_dotted) if fn_dotted is not None else None
+                    if fn_resolved in index.functions:
+                        entries.add(fn_resolved)
+        return entries
+
+    def _init_only_writers(
+        self, index: ProjectIndex, reachable: set[str]
+    ) -> dict[str, bool]:
+        """global qualname -> True if all its writers run at import time only.
+
+        A writer is import-time-only when it is not worker-reachable and
+        every call edge into it originates from a module body.  Globals
+        written directly at module top level count as initialised, not
+        written.
+        """
+        writers: dict[str, set[str]] = {}
+        for qualname, info in index.functions.items():
+            mod = index.modules[info.module]
+            local = local_bound_names(info.node)
+            for target in _global_writes(info.node, mod, local, index):
+                writers.setdefault(target.qualname, set()).add(qualname)
+        verdict: dict[str, bool] = {}
+        for global_qual, writer_set in writers.items():
+            ok = True
+            for writer in writer_set:
+                if writer in reachable:
+                    ok = False
+                    break
+                edges = index.calls_to(writer)
+                if not edges or any(
+                    not edge.caller.startswith(f"{MODULE_BODY}.") for edge in edges
+                ):
+                    ok = False
+                    break
+            verdict[global_qual] = ok
+        return verdict
+
+    def _check_function(
+        self,
+        index: ProjectIndex,
+        info: FunctionInfo,
+        init_only_writers: dict[str, bool],
+    ) -> Iterator[Violation]:
+        mod = index.modules[info.module]
+        local = local_bound_names(info.node)
+        ops = list(_global_ops(info.node, mod, local, index))
+        write_nodes = [node for _t, node, action in ops if action == "write"]
+        reported: set[tuple[int, int, str]] = set()
+
+        def emit(node: ast.AST, message: str) -> Iterator[Violation]:
+            key = (getattr(node, "lineno", 1), getattr(node, "col_offset", 0), message)
+            if key not in reported:
+                reported.add(key)
+                yield self.violation(info.source, node, message)
+
+        for target, node, action in ops:
+            if action == "write":
+                yield from emit(
+                    node,
+                    f"worker-reachable `{info.name}` writes module-level "
+                    f"`{target.name}` ({target.module}); per-process state "
+                    "diverges between sharded and sequential runs — pass "
+                    "state through the cell's args/result instead",
+                )
+            elif (
+                target.mutable
+                # reads of init-only registries (and of mutable globals with
+                # no writer anywhere, which behave as constants) stay legal
+                and not init_only_writers.get(target.qualname, True)
+                # a read that is just the receiver load of a write already
+                # reported above is not a second finding
+                and not any(node in set(ast.walk(w)) for w in write_nodes if isinstance(w, ast.AST))
+            ):
+                yield from emit(
+                    node,
+                    f"worker-reachable `{info.name}` reads module-level "
+                    f"mutable `{target.name}` ({target.module}) that is "
+                    "also written at runtime; contents depend on process "
+                    "history — freeze it or pass it through cell args",
+                )
+
+    def finish(self) -> Iterator[Violation]:
+        # reset so a reused rule instance re-analyzes on the next run
+        self._violations = None
+        return iter(())
+
+
+def _global_ops(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    mod: ModuleIndex,
+    local: set[str],
+    index: ProjectIndex,
+) -> Iterator[tuple[GlobalInfo, ast.AST, str]]:
+    """Yield ``(global, node, "read"|"write")`` for module-global touches."""
+    declared_global: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, ast.Global):
+            declared_global.update(node.names)
+
+    def resolve_global(name: str) -> GlobalInfo | None:
+        if name in local and name not in declared_global:
+            return None
+        if name in mod.globals:
+            return mod.globals[name]
+        target = mod.imports.get(name)
+        if target is not None and target in index.globals:
+            return index.globals[target]
+        return None
+
+    for node in ast.walk(func):
+        # stores: plain/aug assignment to a declared-global name, or a
+        # subscript/attribute store whose base resolves to a global
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+            for target in targets:
+                base = target
+                is_container_store = False
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value
+                    is_container_store = True
+                if not isinstance(base, ast.Name):
+                    continue
+                if is_container_store or base.id in declared_global:
+                    info = resolve_global(base.id)
+                    if info is not None:
+                        yield info, target, "write"
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATING_METHODS:
+                base = node.func.value
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value
+                if isinstance(base, ast.Name):
+                    info = resolve_global(base.id)
+                    if info is not None:
+                        yield info, node, "write"
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            info = resolve_global(node.id)
+            if info is not None:
+                yield info, node, "read"
+        elif isinstance(node, (ast.Delete,)):
+            for target in node.targets:
+                base = target
+                while isinstance(base, (ast.Subscript, ast.Attribute)):
+                    base = base.value
+                if isinstance(base, ast.Name):
+                    info = resolve_global(base.id)
+                    if info is not None:
+                        yield info, target, "write"
+
+
+def _global_writes(
+    func: ast.FunctionDef | ast.AsyncFunctionDef,
+    mod: ModuleIndex,
+    local: set[str],
+    index: ProjectIndex,
+) -> Iterator[GlobalInfo]:
+    for info, _node, action in _global_ops(func, mod, local, index):
+        if action == "write":
+            yield info
+
+
+__all__ = ["PartitionClosureRule"]

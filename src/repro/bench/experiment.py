@@ -14,8 +14,10 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING
 
 from repro.core.placement import PlacementConfig
+from repro.bench.errors import BenchConfigError
 from repro.db.database import Database
 from repro.flash.geometry import FlashGeometry, paper_geometry
+from repro.obs.export import JsonDict
 from repro.flash.timing import TimingModel
 from repro.tpcc.driver import Driver
 from repro.tpcc.loader import load_database
@@ -114,7 +116,7 @@ class TPCCExperimentResult:
                 return group[key]
         raise KeyError(key)
 
-    def metrics(self) -> dict[str, dict]:
+    def metrics(self) -> dict[str, JsonDict]:
         """This run's sections of a ``repro.obs/v1`` metrics document.
 
         ``figure3`` holds exactly the printed Figure 3 rows (same values
@@ -124,7 +126,7 @@ class TPCCExperimentResult:
         """
         from repro.bench.reporting import FIGURE3_ROWS
 
-        sections: dict[str, dict] = {
+        sections: dict[str, JsonDict] = {
             "figure3": {key: float(self.row(key)) for __, key, __ in FIGURE3_ROWS},
         }
         if self.per_region:
@@ -303,7 +305,7 @@ def derive_method_placement(
 def run_tpcc_experiment(config: TPCCExperimentConfig) -> TPCCExperimentResult:
     """Load, measure, and return the Figure 3 stat set for one config."""
     if config.num_transactions is None and config.duration_us is None:
-        raise ValueError("experiment needs num_transactions and/or duration_us")
+        raise BenchConfigError("experiment needs num_transactions and/or duration_us")
     db = build_database(config)
     load_end = load_database(db, config.scale, seed=config.seed)
 

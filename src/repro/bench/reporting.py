@@ -10,6 +10,7 @@ from __future__ import annotations
 import os
 
 from repro.bench.experiment import TPCCExperimentResult
+from repro.obs.export import JsonDict
 
 #: (label, result key, higher_is_better) — the exact Figure 3 row set.
 FIGURE3_ROWS: tuple[tuple[str, str, bool], ...] = (
@@ -71,7 +72,7 @@ def figure3_table(
 
 def figure3_metrics_doc(
     traditional: TPCCExperimentResult, regions: TPCCExperimentResult
-) -> dict:
+) -> JsonDict:
     """The ``repro.obs/v1`` document carrying the same numbers as the table.
 
     Every value in the ``figure3`` sections equals the corresponding
@@ -89,7 +90,7 @@ def figure3_metrics_doc(
     )
 
 
-def _flatten(tree: dict, prefix: str = "") -> dict[str, float]:
+def _flatten(tree: JsonDict, prefix: str = "") -> dict[str, float]:
     """Dotted-key view of a (possibly nested) numeric section."""
     flat: dict[str, float] = {}
     for key in sorted(tree):
@@ -102,14 +103,14 @@ def _flatten(tree: dict, prefix: str = "") -> dict[str, float]:
     return flat
 
 
-def render_metrics_doc(doc: dict) -> str:
+def render_metrics_doc(doc: JsonDict) -> str:
     """Paper-style tables from a validated ``repro.obs/v1`` document.
 
     Two configs with ``figure3`` sections render as the Figure 3
     comparison (including the ratio column); every other section renders
     as a key/value block — same data, human view.
     """
-    configs: dict[str, dict] = doc["configs"]
+    configs: dict[str, JsonDict] = doc["configs"]
     parts: list[str] = []
     fig3_names = [name for name in configs if "figure3" in configs[name]]
     compared = len(fig3_names) == 2

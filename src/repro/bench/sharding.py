@@ -46,6 +46,7 @@ from repro.bench.supervisor import (
     strict,
 )
 from repro.bench.synthetic import SyntheticConfig, SyntheticResult, run_ftl_synthetic, run_noftl_synthetic
+from repro.obs.export import JsonDict
 
 
 @dataclass(frozen=True)
@@ -217,7 +218,7 @@ class MergeError(ValueError):
     """
 
 
-def merge_metrics_docs(docs: Sequence[dict]) -> dict:
+def merge_metrics_docs(docs: Sequence[JsonDict]) -> JsonDict:
     """Merge per-cell ``repro.obs/v1`` documents into one.
 
     All documents must share ``schema`` and ``command``; top-level extras
@@ -236,7 +237,7 @@ def merge_metrics_docs(docs: Sequence[dict]) -> dict:
         raise MergeError("nothing to merge: no metrics documents given")
     schema = docs[0].get("schema")
     command = docs[0].get("command")
-    configs: dict[str, dict] = {}
+    configs: dict[str, JsonDict] = {}
     extras: dict[str, object] = {}
     for doc in docs:
         if doc.get("schema") != schema:
@@ -260,12 +261,12 @@ def merge_metrics_docs(docs: Sequence[dict]) -> dict:
                 configs[name] = _merge_tree(configs[name], sections, name)
             else:
                 configs[name] = _copy_tree(sections)
-    merged: dict = {"schema": schema, "command": command, "configs": configs}
+    merged: JsonDict = {"schema": schema, "command": command, "configs": configs}
     merged.update(extras)
     return merged
 
 
-def _copy_tree(tree: dict) -> dict:
+def _copy_tree(tree: JsonDict) -> JsonDict:
     """Deep-copy a numeric section tree (inputs stay untouched)."""
     return {
         key: _copy_tree(value) if isinstance(value, dict)
@@ -275,7 +276,7 @@ def _copy_tree(tree: dict) -> dict:
     }
 
 
-def _merge_tree(a: dict, b: dict, path: str) -> dict:
+def _merge_tree(a: JsonDict, b: JsonDict, path: str) -> JsonDict:
     """Sum two numeric section trees leaf-wise; any shape mismatch raises.
 
     Key sets must match exactly at every level: shards summing slices of
@@ -290,7 +291,7 @@ def _merge_tree(a: dict, b: dict, path: str) -> dict:
             f"cannot merge {path}: shard documents disagree on keys "
             f"(one side only: {sorted(only_a + only_b)})"
         )
-    out: dict = {}
+    out: JsonDict = {}
     for key in a:
         where = f"{path}.{key}"
         value_a, value_b = a[key], b[key]

@@ -57,6 +57,8 @@ import threading
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Any, Callable, Iterable
 
+from repro.bench.errors import BenchConfigError
+
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from multiprocessing.context import SpawnContext
 
@@ -109,15 +111,15 @@ class ShardPolicy:
 
     def __post_init__(self) -> None:
         if self.timeout_s is not None and self.timeout_s <= 0:
-            raise ValueError("timeout_s must be positive (or None for no timeout)")
+            raise BenchConfigError("timeout_s must be positive (or None for no timeout)")
         if self.retries < 0:
-            raise ValueError("retries must be >= 0")
+            raise BenchConfigError("retries must be >= 0")
         if self.poll_interval_s <= 0:
-            raise ValueError("poll_interval_s must be positive")
+            raise BenchConfigError("poll_interval_s must be positive")
         if self.heartbeat_interval_s <= 0:
-            raise ValueError("heartbeat_interval_s must be positive")
+            raise BenchConfigError("heartbeat_interval_s must be positive")
         if self.stall_window_polls is not None and self.stall_window_polls < 1:
-            raise ValueError("stall_window_polls must be >= 1 (or None to disable)")
+            raise BenchConfigError("stall_window_polls must be >= 1 (or None to disable)")
 
     @property
     def max_attempts(self) -> int:
@@ -354,7 +356,7 @@ def run_cells_supervised(
     state machine above.
     """
     if shards < 1:
-        raise ValueError("shards must be >= 1")
+        raise BenchConfigError("shards must be >= 1")
     if policy is None:
         policy = ShardPolicy()
     todo = list(cells)

@@ -17,9 +17,11 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass, field
 
+from repro.bench.errors import BenchConfigError
 from repro.core.region import Region, RegionConfig
 from repro.core.store import NoFTLStore
 from repro.flash.device import FlashDevice
+from repro.obs.export import JsonDict
 from repro.flash.geometry import FlashGeometry
 from repro.flash.timing import TimingModel
 from repro.ftl.dftl import DFTL
@@ -47,11 +49,11 @@ class ObjectClass:
 
     def __post_init__(self) -> None:
         if not 0.0 < self.space_share <= 1.0:
-            raise ValueError("space_share must be in (0, 1]")
+            raise BenchConfigError("space_share must be in (0, 1]")
         if not 0.0 <= self.traffic_share <= 1.0:
-            raise ValueError("traffic_share must be in [0, 1]")
+            raise BenchConfigError("traffic_share must be in [0, 1]")
         if self.kind not in ("update", "append"):
-            raise ValueError("kind must be 'update' or 'append'")
+            raise BenchConfigError("kind must be 'update' or 'append'")
 
 
 #: The canonical two-class workload: a small scorching set and a large
@@ -142,14 +144,14 @@ class SyntheticResult:
             round(self.writes_per_second, 0),
         ]
 
-    def metrics(self) -> dict[str, dict]:
+    def metrics(self) -> dict[str, JsonDict]:
         """This run's sections of a ``repro.obs/v1`` metrics document.
 
         ``summary`` mirrors :meth:`row` (window deltas, unrounded);
         ``registry`` is the end-of-run namespaced snapshot (cumulative,
         preload included).
         """
-        sections: dict[str, dict] = {
+        sections: dict[str, JsonDict] = {
             "summary": {
                 "copybacks": float(self.copybacks),
                 "erases": float(self.erases),
@@ -329,7 +331,7 @@ def run_ftl_synthetic(config: SyntheticConfig, ftl: str = "page", cmt_entries: i
             wl_policy=config.wl_policy,
         )
     else:
-        raise ValueError(f"unknown ftl kind {ftl!r}")
+        raise BenchConfigError(f"unknown ftl kind {ftl!r}")
 
     total = dev.num_lbas
     live_target = min(total, live_target)

@@ -16,6 +16,7 @@ occupied most of it (R read, W program, C copyback, E erase, m metadata,
 
 from __future__ import annotations
 
+from repro.bench.errors import BenchConfigError
 from repro.flash.trace import FlashTracer, TraceEvent
 
 #: glyph per op, by share of the time slice it occupies
@@ -46,11 +47,11 @@ def render_timeline(
     if not events:
         return "(no events)"
     if width < 2:
-        raise ValueError("width must be >= 2")
+        raise BenchConfigError("width must be >= 2")
     lo = min(e.start_us for e in events) if start_us is None else start_us
     hi = max(e.end_us for e in events) if end_us is None else end_us
     if hi <= lo:
-        raise ValueError("empty time window")
+        raise BenchConfigError("empty time window")
     slice_us = (hi - lo) / width
     die_list = sorted({e.die for e in events}) if dies is None else dies
 

@@ -22,7 +22,7 @@ import struct
 
 from repro.db.buffer import BufferPool
 from repro.db.heap import RID
-from repro.db.records import ColumnType, Schema, SchemaError
+from repro.db.records import ColumnType, Key, Schema, SchemaError
 
 
 class IndexError_(Exception):
@@ -57,7 +57,7 @@ class KeyCodec:
                 total += 2 + column.length
         return total
 
-    def encode(self, key: tuple) -> bytes:
+    def encode(self, key: Key) -> bytes:
         """Serialise a key tuple."""
         if len(key) != len(self.schema):
             raise SchemaError(f"key has {len(key)} parts, index has {len(self.schema)}")
@@ -70,7 +70,7 @@ class KeyCodec:
                 parts.append(struct.pack("<H", len(raw)) + raw)
         return b"".join(parts)
 
-    def decode(self, data: bytes, offset: int) -> tuple[tuple, int]:
+    def decode(self, data: bytes, offset: int) -> tuple[Key, int]:
         """Deserialise one key starting at ``offset``; returns (key, end)."""
         values = []
         for column in self.schema:
@@ -93,7 +93,7 @@ class _Node:
 
     def __init__(self, is_leaf: bool) -> None:
         self.is_leaf = is_leaf
-        self.keys: list[tuple] = []
+        self.keys: list[Key] = []
         self.values: list[RID] = []  # leaves only
         self.children: list[int] = []  # inner only: len(keys) + 1 page_nos
         self.next_leaf: int = -1  # leaves only
@@ -233,7 +233,7 @@ class BTree:
     # Search
     # ------------------------------------------------------------------
     def _descend_to_leaf(
-        self, key: tuple, at: float, pin: bool = True
+        self, key: Key, at: float, pin: bool = True
     ) -> tuple[int, _Node, float]:
         """Walk from the root to the leaf that may contain ``key``.
 
@@ -253,7 +253,7 @@ class BTree:
             node, at = self._fetch(page_no, at, pin=pin)
         return page_no, node, at
 
-    def search(self, key: tuple, at: float) -> tuple[RID | None, float]:
+    def search(self, key: Key, at: float) -> tuple[RID | None, float]:
         """First RID stored under ``key``, or ``None``."""
         if self._root_page < 0:
             return None, at
@@ -271,14 +271,14 @@ class BTree:
         finally:
             self._release_pins()
 
-    def search_all(self, key: tuple, at: float) -> tuple[list[RID], float]:
+    def search_all(self, key: Key, at: float) -> tuple[list[RID], float]:
         """Every RID stored under ``key`` (non-unique indexes)."""
         results, at = self.range_scan(key, key, at)
         return [rid for __, rid in results], at
 
     def range_scan(
-        self, lo: tuple | None, hi: tuple | None, at: float, limit: int | None = None
-    ) -> tuple[list[tuple[tuple, RID]], float]:
+        self, lo: Key | None, hi: Key | None, at: float, limit: int | None = None
+    ) -> tuple[list[tuple[Key, RID]], float]:
         """Entries with ``lo <= key <= hi`` (either bound may be ``None``).
 
         Returns ``(entries, completion_us)``; ``limit`` caps the result.
@@ -292,7 +292,7 @@ class BTree:
             else:
                 __, leaf, at = self._descend_to_leaf(lo, at, pin=False)
                 index = bisect.bisect_left(leaf.keys, lo)
-            results: list[tuple[tuple, RID]] = []
+            results: list[tuple[Key, RID]] = []
             while True:
                 while index < len(leaf.keys):
                     key = leaf.keys[index]
@@ -318,7 +318,7 @@ class BTree:
     # ------------------------------------------------------------------
     # Insert
     # ------------------------------------------------------------------
-    def insert(self, key: tuple, rid: RID, at: float) -> float:
+    def insert(self, key: Key, rid: RID, at: float) -> float:
         """Insert ``(key, rid)``; raises on duplicates for unique indexes."""
         key = tuple(key)
         try:
@@ -344,8 +344,8 @@ class BTree:
             self._release_pins()
 
     def _insert_into(
-        self, page_no: int, key: tuple, rid: RID, at: float
-    ) -> tuple[tuple[tuple, int] | None, float]:
+        self, page_no: int, key: Key, rid: RID, at: float
+    ) -> tuple[tuple[Key, int] | None, float]:
         """Recursive insert; returns (separator, new right sibling) on split."""
         node, at = self._fetch(page_no, at)
         if node.is_leaf:
@@ -372,7 +372,7 @@ class BTree:
 
     def _split_leaf(
         self, page_no: int, node: _Node, at: float
-    ) -> tuple[tuple[tuple, int], float]:
+    ) -> tuple[tuple[Key, int], float]:
         mid = len(node.keys) // 2
         right = _Node(is_leaf=True)
         right.keys = node.keys[mid:]
@@ -387,7 +387,7 @@ class BTree:
 
     def _split_inner(
         self, page_no: int, node: _Node, at: float
-    ) -> tuple[tuple[tuple, int], float]:
+    ) -> tuple[tuple[Key, int], float]:
         mid = len(node.keys) // 2
         sep_key = node.keys[mid]
         right = _Node(is_leaf=False)
@@ -402,7 +402,7 @@ class BTree:
     # ------------------------------------------------------------------
     # Delete (lazy: no rebalancing)
     # ------------------------------------------------------------------
-    def delete(self, key: tuple, rid: RID | None, at: float) -> tuple[bool, float]:
+    def delete(self, key: Key, rid: RID | None, at: float) -> tuple[bool, float]:
         """Remove one entry for ``key`` (matching ``rid`` if given).
 
         Returns ``(deleted, completion_us)``.
@@ -448,7 +448,7 @@ class BTree:
             self._release_pins()
 
     def _check_node(
-        self, page_no: int, lo: tuple | None, hi: tuple | None, at: float
+        self, page_no: int, lo: Key | None, hi: Key | None, at: float
     ) -> tuple[int, float]:
         node, at = self._fetch(page_no, at, pin=False)
         keys = node.keys

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.db.query import Between, Condition, Eq, select
+from repro.db.records import Row
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.db.database import Database
@@ -148,7 +149,7 @@ class DMLResult:
     """Outcome of one DML statement."""
 
     kind: str
-    rows: list[tuple]
+    rows: list[Row]
     affected: int
     end_us: float
 

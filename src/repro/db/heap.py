@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from collections.abc import Iterator
 
 from repro.db.buffer import BufferPool
-from repro.db.records import RowCodec, Schema
+from repro.db.records import Row, RowCodec, Schema
 from repro.db.slotted_page import PageFullError, SlottedPage
 
 
@@ -120,7 +120,7 @@ class HeapFile:
     # ------------------------------------------------------------------
     # Record operations
     # ------------------------------------------------------------------
-    def insert(self, row: tuple, at: float) -> tuple[RID, float]:
+    def insert(self, row: Row, at: float) -> tuple[RID, float]:
         """Insert a row; returns ``(rid, completion_us)``."""
         record = self.codec.encode(row)
         target = self.page_size * (1.0 - self.fill_hint)
@@ -139,13 +139,13 @@ class HeapFile:
         self._row_count += 1
         return RID(page_no, slot), at
 
-    def read(self, rid: RID, at: float) -> tuple[tuple, float]:
+    def read(self, rid: RID, at: float) -> tuple[Row, float]:
         """Read the row at ``rid``; returns ``(row, completion_us)``."""
         self._check_rid(rid)
         page, at = self._fetch(rid.page_no, at)
         return self.codec.decode(page.read(rid.slot)), at
 
-    def update(self, rid: RID, row: tuple, at: float) -> tuple[RID, float]:
+    def update(self, rid: RID, row: Row, at: float) -> tuple[RID, float]:
         """Update the row at ``rid``.
 
         Returns ``(rid, completion_us)`` — a *new* RID if the record had to
@@ -175,7 +175,7 @@ class HeapFile:
         self._row_count -= 1
         return at
 
-    def scan(self, at: float) -> Iterator[tuple[RID, tuple, float]]:
+    def scan(self, at: float) -> Iterator[tuple[RID, Row, float]]:
         """Iterate ``(rid, row, completion_us)`` over all live rows.
 
         The generator threads the clock: each yielded ``completion_us``

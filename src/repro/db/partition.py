@@ -22,10 +22,11 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass
+from typing import Any
 from collections.abc import Iterator
 
 from repro.db.heap import RID
-from repro.db.records import Schema
+from repro.db.records import Key, Row, Schema
 from repro.db.table import Table
 
 
@@ -57,7 +58,7 @@ class PartitionScheme(abc.ABC):
     def route_value(self, value: object) -> int:
         """Partition index for one value of the partition column."""
 
-    def route_row(self, schema: Schema, row: tuple) -> int:
+    def route_row(self, schema: Schema, row: Row) -> int:
         """Partition index for a full row."""
         return self.route_value(row[schema.position(self.column)])
 
@@ -70,7 +71,7 @@ class RangePartition(PartitionScheme):
     ``(-inf, 100)``, ``[100, 200)``, ``[200, +inf)``.
     """
 
-    def __init__(self, column: str, bounds: list) -> None:
+    def __init__(self, column: str, bounds: list[Any]) -> None:
         if not bounds:
             raise PartitionError("range partitioning needs at least one bound")
         if sorted(bounds) != list(bounds) or len(set(bounds)) != len(bounds):
@@ -125,7 +126,7 @@ class PartitionedTable:
         """Live rows over all partitions."""
         return sum(p.row_count for p in self.parts)
 
-    def partition_of(self, row: tuple) -> int:
+    def partition_of(self, row: Row) -> int:
         """Partition index a row routes to."""
         return self.scheme.route_row(self.schema, row)
 
@@ -136,17 +137,17 @@ class PartitionedTable:
     # ------------------------------------------------------------------
     # Mutations
     # ------------------------------------------------------------------
-    def insert(self, row: tuple, at: float) -> tuple[PartitionedRID, float]:
+    def insert(self, row: Row, at: float) -> tuple[PartitionedRID, float]:
         """Insert a row into its partition."""
         index = self.partition_of(row)
         rid, at = self.parts[index].insert(row, at)
         return PartitionedRID(index, rid), at
 
-    def read(self, prid: PartitionedRID, at: float) -> tuple[tuple, float]:
+    def read(self, prid: PartitionedRID, at: float) -> tuple[Row, float]:
         """Read the row at ``prid``."""
         return self.parts[prid.partition].read(prid.rid, at)
 
-    def update(self, prid: PartitionedRID, row: tuple, at: float) -> tuple[PartitionedRID, float]:
+    def update(self, prid: PartitionedRID, row: Row, at: float) -> tuple[PartitionedRID, float]:
         """Update a row; moving it across partitions when its key moved."""
         target = self.partition_of(row)
         if target == prid.partition:
@@ -177,7 +178,7 @@ class PartitionedTable:
         """Local index name on ``part`` for logical index ``index_name``."""
         return f"{part.name}_{index_name}"
 
-    def _route_by_key(self, index_name: str, key: tuple) -> int | None:
+    def _route_by_key(self, index_name: str, key: Key) -> int | None:
         """Partition pinned by ``key``, or ``None`` when it does not bind
         the partition column."""
         part = self.parts[0]
@@ -187,7 +188,7 @@ class PartitionedTable:
                 return self.scheme.route_value(key[position])
         return None
 
-    def lookup(self, index_name: str, key: tuple, at: float) -> tuple[tuple | None, float]:
+    def lookup(self, index_name: str, key: Key, at: float) -> tuple[Row | None, float]:
         """First row matching ``key``; routed or fanned out."""
         pinned = self._route_by_key(index_name, tuple(key))
         targets = [pinned] if pinned is not None else range(len(self.parts))
@@ -198,7 +199,7 @@ class PartitionedTable:
                 return row, at
         return None, at
 
-    def lookup_rid(self, index_name: str, key: tuple, at: float) -> tuple[PartitionedRID | None, float]:
+    def lookup_rid(self, index_name: str, key: Key, at: float) -> tuple[PartitionedRID | None, float]:
         """First matching row id; routed or fanned out."""
         pinned = self._route_by_key(index_name, tuple(key))
         targets = [pinned] if pinned is not None else range(len(self.parts))
@@ -210,10 +211,10 @@ class PartitionedTable:
         return None, at
 
     def lookup_all(
-        self, index_name: str, key: tuple, at: float
-    ) -> tuple[list[tuple[PartitionedRID, tuple]], float]:
+        self, index_name: str, key: Key, at: float
+    ) -> tuple[list[tuple[PartitionedRID, Row]], float]:
         """Every matching (prid, row) across partitions."""
-        results: list[tuple[PartitionedRID, tuple]] = []
+        results: list[tuple[PartitionedRID, Row]] = []
         pinned = self._route_by_key(index_name, tuple(key))
         targets = [pinned] if pinned is not None else range(len(self.parts))
         for index in targets:
@@ -222,7 +223,7 @@ class PartitionedTable:
             results.extend((PartitionedRID(index, rid), row) for rid, row in rows)
         return results, at
 
-    def scan(self, at: float) -> Iterator[tuple[PartitionedRID, tuple, float]]:
+    def scan(self, at: float) -> Iterator[tuple[PartitionedRID, Row, float]]:
         """Scan all partitions; yields ``(prid, row, completion_us)``."""
         for index, part in enumerate(self.parts):
             for rid, row, at in part.scan(at):

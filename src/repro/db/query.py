@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.db.records import Column, ColumnType, Schema
+from repro.db.records import Column, ColumnType, Key, Row, Schema
 from repro.db.table import Table
 
 
@@ -35,7 +35,7 @@ class Eq:
     column: str
     value: object
 
-    def matches(self, row: tuple, schema: Schema) -> bool:
+    def matches(self, row: Row, schema: Schema) -> bool:
         """Row-side evaluation."""
         return row[schema.position(self.column)] == self.value
 
@@ -48,7 +48,7 @@ class Between:
     lo: object = None
     hi: object = None
 
-    def matches(self, row: tuple, schema: Schema) -> bool:
+    def matches(self, row: Row, schema: Schema) -> bool:
         """Row-side evaluation."""
         value = row[schema.position(self.column)]
         if self.lo is not None and value < self.lo:
@@ -121,14 +121,14 @@ def plan_query(table: Table, conditions: list[Condition]) -> Plan:
     return best
 
 
-def _key_bounds(table: Table, plan: Plan, conditions: list[Condition]) -> tuple[tuple, tuple]:
+def _key_bounds(table: Table, plan: Plan, conditions: list[Condition]) -> tuple[Key, Key]:
     """Build (lo, hi) key tuples for the planned index."""
     index = table.index(plan.index_name)
     schema = table.schema
     eqs = {c.column: c for c in conditions if isinstance(c, Eq)}
     ranges = {c.column: c for c in conditions if isinstance(c, Between)}
-    lo: list = []
-    hi: list = []
+    lo: list[object] = []
+    hi: list[object] = []
     for position, column_name in enumerate(index.columns):
         column = schema.column(column_name)
         if position < plan.eq_prefix:
@@ -150,7 +150,7 @@ def select(
     columns: list[str] | None = None,
     limit: int | None = None,
     at: float = 0.0,
-) -> tuple[list[tuple], float]:
+) -> tuple[list[Row], float]:
     """Run a filtered read over ``table``; returns ``(rows, completion_us)``.
 
     Args:
@@ -167,9 +167,9 @@ def select(
         [schema.position(c) for c in columns] if columns is not None else None
     )
     plan = plan_query(table, conditions)
-    results: list[tuple] = []
+    results: list[Row] = []
 
-    def emit(row: tuple) -> bool:
+    def emit(row: Row) -> bool:
         if all(c.matches(row, schema) for c in conditions):
             results.append(
                 tuple(row[i] for i in projection) if projection is not None else row

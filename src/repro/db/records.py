@@ -19,6 +19,18 @@ import enum
 import struct
 from collections.abc import Iterator
 from dataclasses import dataclass
+from typing import Any, TypeAlias
+
+#: A table row: column values in schema order.  Rows are heterogeneous by
+#: construction (an INT/FLOAT/CHAR/VARCHAR mix), so the element type is
+#: ``Any``; :class:`RowCodec` validates per-column types at the
+#: serialisation boundary, which is where a wrong value can corrupt data.
+Row: TypeAlias = tuple[Any, ...]
+
+#: An index key: the indexed columns' values, compared lexicographically.
+#: Structurally identical to :data:`Row` but kept as a separate name so
+#: signatures say which of the two they mean.
+Key: TypeAlias = tuple[Any, ...]
 
 
 class SchemaError(Exception):
@@ -145,7 +157,7 @@ class RowCodec:
     def __init__(self, schema: Schema) -> None:
         self.schema = schema
 
-    def encode(self, row: tuple) -> bytes:
+    def encode(self, row: Row) -> bytes:
         """Serialise ``row``; validates arity, types and text lengths."""
         if len(row) != len(self.schema):
             raise SchemaError(
@@ -156,7 +168,7 @@ class RowCodec:
             parts.append(self._encode_value(column, value))
         return b"".join(parts)
 
-    def decode(self, data: bytes) -> tuple:
+    def decode(self, data: bytes) -> Row:
         """Inverse of :meth:`encode`."""
         values = []
         offset = 0

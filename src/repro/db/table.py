@@ -13,7 +13,7 @@ from typing import TYPE_CHECKING
 
 from repro.db.catalog import IndexInfo, TableInfo
 from repro.db.heap import RID
-from repro.db.records import Schema
+from repro.db.records import Key, Row, Schema
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.db.wal import WriteAheadLog
@@ -45,7 +45,7 @@ class Table:
             self._key_positions[index.name] = positions
         return positions
 
-    def _key_of(self, index: IndexInfo, row: tuple) -> tuple:
+    def _key_of(self, index: IndexInfo, row: Row) -> Key:
         return tuple(row[i] for i in self._positions(index))
 
     # ------------------------------------------------------------------
@@ -69,7 +69,7 @@ class Table:
     # ------------------------------------------------------------------
     # Mutations (index-maintaining)
     # ------------------------------------------------------------------
-    def insert(self, row: tuple, at: float) -> tuple[RID, float]:
+    def insert(self, row: Row, at: float) -> tuple[RID, float]:
         """Insert a row, updating every index (and the WAL, if attached)."""
         rid, at = self.info.heap.insert(row, at)
         for index in self.info.indexes:
@@ -82,11 +82,11 @@ class Table:
             )
         return rid, at
 
-    def read(self, rid: RID, at: float) -> tuple[tuple, float]:
+    def read(self, rid: RID, at: float) -> tuple[Row, float]:
         """Read the row at ``rid``."""
         return self.info.heap.read(rid, at)
 
-    def update(self, rid: RID, row: tuple, at: float) -> tuple[RID, float]:
+    def update(self, rid: RID, row: Row, at: float) -> tuple[RID, float]:
         """Replace the row at ``rid``; returns the (possibly new) RID.
 
         Index entries are rewritten only when their key changed or the
@@ -139,7 +139,7 @@ class Table:
                 return index
         raise TableError(f"table {self.name!r} has no index {name!r}")
 
-    def lookup(self, index_name: str, key: tuple, at: float) -> tuple[tuple | None, float]:
+    def lookup(self, index_name: str, key: Key, at: float) -> tuple[Row | None, float]:
         """Fetch the first row matching ``key`` via an index, or ``None``."""
         index = self.index(index_name)
         rid, at = index.btree.search(tuple(key), at)
@@ -147,11 +147,11 @@ class Table:
             return None, at
         return self.read(rid, at)
 
-    def lookup_rid(self, index_name: str, key: tuple, at: float) -> tuple[RID | None, float]:
+    def lookup_rid(self, index_name: str, key: Key, at: float) -> tuple[RID | None, float]:
         """Find the first RID matching ``key`` via an index."""
         return self.index(index_name).btree.search(tuple(key), at)
 
-    def lookup_all(self, index_name: str, key: tuple, at: float) -> tuple[list[tuple[RID, tuple]], float]:
+    def lookup_all(self, index_name: str, key: Key, at: float) -> tuple[list[tuple[RID, Row]], float]:
         """Fetch every (rid, row) matching ``key`` via a non-unique index."""
         index = self.index(index_name)
         rids, at = index.btree.search_all(tuple(key), at)
@@ -161,6 +161,6 @@ class Table:
             results.append((rid, row))
         return results, at
 
-    def scan(self, at: float) -> Iterator[tuple[RID, tuple, float]]:
+    def scan(self, at: float) -> Iterator[tuple[RID, Row, float]]:
         """Full-table scan; yields ``(rid, row, completion_us)``."""
         return self.info.heap.scan(at)

@@ -69,6 +69,14 @@ from repro.faults.plan import MAX_READ_RETRIES, FaultPlan, FaultSpec
 CHAOS_CHECKS = ("accounting", "wal_replay", "capacity", "mapping")
 
 
+class ChaosConfigError(ValueError):
+    """A chaos generator or config was built with invalid parameters.
+
+    Subclasses ``ValueError`` so existing generic handlers keep working
+    (typed-error discipline, like ``MergeError`` in bench/sharding.py).
+    """
+
+
 @dataclass(frozen=True)
 class IntensityTier:
     """How hostile a generated plan may be.
@@ -133,15 +141,15 @@ class FaultPlanGenerator:
     ) -> None:
         if isinstance(intensity, str):
             if intensity not in INTENSITY_TIERS:
-                raise ValueError(
+                raise ChaosConfigError(
                     f"unknown intensity {intensity!r}; "
                     f"want one of {sorted(INTENSITY_TIERS)}"
                 )
             intensity = INTENSITY_TIERS[intensity]
         if op_budget < 100:
-            raise ValueError("op_budget must be >= 100")
+            raise ChaosConfigError("op_budget must be >= 100")
         if dies < 4:
-            raise ValueError("dies must be >= 4 (die kills need survivors)")
+            raise ChaosConfigError("dies must be >= 4 (die kills need survivors)")
         self.seed = seed
         self.tier = intensity
         self.op_budget = op_budget
@@ -261,9 +269,9 @@ class ChaosConfig:
 
     def __post_init__(self) -> None:
         if self.plans < 1:
-            raise ValueError("plans must be >= 1")
+            raise ChaosConfigError("plans must be >= 1")
         if self.intensity not in INTENSITY_TIERS:
-            raise ValueError(
+            raise ChaosConfigError(
                 f"unknown intensity {self.intensity!r}; "
                 f"want one of {sorted(INTENSITY_TIERS)}"
             )

@@ -100,7 +100,7 @@ class FaultSpec:
             return 1 if self.count is None else min(1, self.count)
         return self.count
 
-    def to_dict(self) -> dict:
+    def to_dict(self) -> dict[str, object]:
         """JSON-ready dict (defaults omitted)."""
         out: dict[str, object] = {"kind": self.kind}
         for name in ("at_op", "every", "count", "die", "block"):
@@ -114,7 +114,7 @@ class FaultSpec:
         return out
 
     @classmethod
-    def from_dict(cls, raw: dict) -> "FaultSpec":
+    def from_dict(cls, raw: dict[str, object]) -> "FaultSpec":
         """Build a spec from a JSON object, rejecting unknown fields."""
         if not isinstance(raw, dict):
             raise FaultPlanError(f"fault spec must be an object, got {type(raw).__name__}")

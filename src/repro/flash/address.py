@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.flash.geometry import FlashGeometry
+from repro.flash.errors import ConfigError
 
 
 @dataclass(frozen=True, order=True)
@@ -51,7 +52,7 @@ class PhysicalPageAddress:
     def from_int(cls, value: int, geometry: FlashGeometry) -> "PhysicalPageAddress":
         """Inverse of :meth:`to_int`."""
         if not 0 <= value < geometry.total_pages:
-            raise ValueError(f"packed address {value} out of range [0, {geometry.total_pages})")
+            raise ConfigError(f"packed address {value} out of range [0, {geometry.total_pages})")
         die, rest = divmod(value, geometry.pages_per_die)
         block, page = divmod(rest, geometry.pages_per_block)
         return cls(die, block, page)
@@ -86,7 +87,7 @@ class PhysicalBlockAddress:
     def from_int(cls, value: int, geometry: FlashGeometry) -> "PhysicalBlockAddress":
         """Inverse of :meth:`to_int`."""
         if not 0 <= value < geometry.total_blocks:
-            raise ValueError(f"packed block {value} out of range [0, {geometry.total_blocks})")
+            raise ConfigError(f"packed block {value} out of range [0, {geometry.total_blocks})")
         die, block = divmod(value, geometry.blocks_per_die)
         return cls(die, block)
 

@@ -32,7 +32,13 @@ from array import array
 from dataclasses import dataclass, field
 from typing import Any
 
-from repro.flash.errors import BadBlockError, EraseError, ProgramError, ReadError
+from repro.flash.errors import (
+    BadBlockError,
+    ConfigError,
+    EraseError,
+    ProgramError,
+    ReadError,
+)
 
 
 @dataclass
@@ -82,7 +88,7 @@ class Block:
 
     def __init__(self, pages_per_block: int, max_pe_cycles: int) -> None:
         if pages_per_block <= 0:
-            raise ValueError("pages_per_block must be positive")
+            raise ConfigError("pages_per_block must be positive")
         #: page payloads; ``None`` for never/erased pages
         self._data: list[bytes | None] = [None] * pages_per_block
         #: OOB columns, ``-1`` = field not set (``None`` in PageMetadata)

@@ -24,6 +24,7 @@ from repro.flash.address import PhysicalBlockAddress, PhysicalPageAddress
 from repro.flash.block import Block, PageMetadata
 from repro.flash.die import Die
 from repro.flash.errors import (
+    ConfigError,
     CopybackError,
     DataError,
     PackedPathError,
@@ -94,7 +95,7 @@ class FlashDevice:
         events: EventBus | None = None,
     ) -> None:
         if not 0.0 <= initial_bad_block_rate < 1.0:
-            raise ValueError("initial_bad_block_rate must be in [0, 1)")
+            raise ConfigError("initial_bad_block_rate must be in [0, 1)")
         self.geometry = geometry
         self.timing = timing if timing is not None else DEFAULT_TIMING
         self.clock = clock if clock is not None else SimClock()

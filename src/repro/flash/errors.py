@@ -15,6 +15,25 @@ class FlashError(Exception):
     """Base class for all errors raised by the flash simulator."""
 
 
+class ConfigError(FlashError, ValueError):
+    """A flash-layer object was constructed with invalid parameters.
+
+    Subclasses ``ValueError`` so existing ``except ValueError`` callers
+    (and tests) keep working, while ``except FlashError`` blanket
+    handlers see it too — the repo's typed-error discipline
+    (``errors.typed-discipline`` lint rule).
+    """
+
+
+class TracerStateError(FlashError, RuntimeError):
+    """A tracer lifecycle operation ran in the wrong state.
+
+    Raised by :class:`repro.flash.trace.FlashTracer` for double-attach.
+    Subclasses ``RuntimeError`` for backward compatibility with generic
+    handlers.
+    """
+
+
 class AddressError(FlashError):
     """A physical address does not exist in the device geometry."""
 

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.flash.errors import AddressError
+from repro.flash.errors import ConfigError
 
 KIB = 1024
 MIB = 1024 * KIB
@@ -61,11 +62,11 @@ class FlashGeometry:
         ):
             value = getattr(self, name)
             if not isinstance(value, int) or value <= 0:
-                raise ValueError(f"geometry field {name!r} must be a positive int, got {value!r}")
+                raise ConfigError(f"geometry field {name!r} must be a positive int, got {value!r}")
         if self.oob_size < 0:
-            raise ValueError("oob_size must be >= 0")
+            raise ConfigError("oob_size must be >= 0")
         if self.max_pe_cycles <= 0:
-            raise ValueError("max_pe_cycles must be positive")
+            raise ConfigError("max_pe_cycles must be positive")
 
     # ------------------------------------------------------------------
     # Derived sizes

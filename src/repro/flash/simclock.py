@@ -17,6 +17,8 @@ from __future__ import annotations
 import bisect
 from dataclasses import dataclass, field
 
+from repro.flash.errors import ConfigError
+
 
 class SimClock:
     """A monotonically advancing virtual clock (microseconds).
@@ -45,7 +47,7 @@ class SimClock:
     def advance_by(self, dt: float) -> float:
         """Move the clock forward by ``dt`` microseconds; return now."""
         if dt < 0:
-            raise ValueError("cannot advance the clock backwards")
+            raise ConfigError("cannot advance the clock backwards")
         self._now += dt
         return self._now
 
@@ -88,7 +90,7 @@ class ResourceTimeline:
         Returns ``(start, end)`` of the granted slot — the first gap that
         fits."""
         if duration < 0:
-            raise ValueError("duration must be >= 0")
+            raise ConfigError("duration must be >= 0")
         intervals = self._intervals
         if intervals and intervals[0][1] < earliest - _PRUNE_HORIZON_US:
             self._prune(earliest)

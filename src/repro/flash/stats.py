@@ -11,6 +11,8 @@ from __future__ import annotations
 from bisect import bisect_right
 from dataclasses import dataclass, field
 
+from repro.flash.errors import ConfigError
+
 
 #: Log-spaced histogram bucket boundaries in µs (~23% resolution per step),
 #: spanning sub-µs CPU blips to multi-second stalls.
@@ -59,7 +61,7 @@ class LatencyAccumulator:
         rank (conservative: never underestimates the tail).
         """
         if not 0.0 < fraction <= 1.0:
-            raise ValueError("fraction must be in (0, 1]")
+            raise ConfigError("fraction must be in (0, 1]")
         if self.count == 0:
             return 0.0
         rank = fraction * self.count
@@ -100,7 +102,7 @@ def percentile_from_buckets(buckets: list[int], fraction: float) -> float:
     the difference of two snapshots is itself a histogram.
     """
     if not 0.0 < fraction <= 1.0:
-        raise ValueError("fraction must be in (0, 1]")
+        raise ConfigError("fraction must be in (0, 1]")
     total = sum(buckets)
     if total == 0:
         return 0.0

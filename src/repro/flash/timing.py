@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.flash.errors import ConfigError
+
 
 @dataclass(frozen=True)
 class TimingModel:
@@ -36,7 +38,7 @@ class TimingModel:
     def __post_init__(self) -> None:
         for name in ("read_us", "program_us", "erase_us", "bus_us_per_page", "copyback_overhead_us"):
             if getattr(self, name) < 0:
-                raise ValueError(f"timing field {name!r} must be >= 0")
+                raise ConfigError(f"timing field {name!r} must be >= 0")
 
     @property
     def copyback_us(self) -> float:

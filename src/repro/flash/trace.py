@@ -22,8 +22,10 @@ from __future__ import annotations
 from collections import Counter, deque
 from collections.abc import Callable
 from dataclasses import dataclass
+from typing import Any
 
 from repro.flash.device import CommandResult, FlashDevice
+from repro.flash.errors import ConfigError, TracerStateError
 
 
 @dataclass(frozen=True)
@@ -69,7 +71,7 @@ class FlashTracer:
 
     def __init__(self, device: FlashDevice, capacity: int = 100_000) -> None:
         if capacity < 1:
-            raise ValueError("trace capacity must be positive")
+            raise ConfigError("trace capacity must be positive")
         self.device = device
         self.events: deque[TraceEvent] = deque(maxlen=capacity)
         self.dropped = 0
@@ -88,7 +90,7 @@ class FlashTracer:
 
     def _hook(self) -> None:
         if self._attached:
-            raise RuntimeError("tracer already attached")
+            raise TracerStateError("tracer already attached")
         for name in _TRACED_OPS:
             original = getattr(self.device, name)
             self._originals[name] = original
@@ -103,7 +105,7 @@ class FlashTracer:
         self._attached = False
 
     def _wrap(self, name: str, original: Callable[..., CommandResult]) -> Callable[..., CommandResult]:
-        def traced(address: object, *args: object, **kwargs: object) -> CommandResult:
+        def traced(address: Any, *args: Any, **kwargs: Any) -> CommandResult:
             issue = kwargs.get("at")
             if issue is None:
                 issue = self.device.clock.now

@@ -26,8 +26,15 @@ CI smoke step runs it against live ``fig3 --json`` output.
 from __future__ import annotations
 
 import json
+from typing import Any, TypeAlias
 
 from repro.obs.api import ROOT_NAMESPACES, check_key
+
+#: A JSON-object-shaped node of a metrics document: the envelope itself,
+#: a config's section map, or one (possibly nested) numeric section
+#: tree.  Values are ``Any`` because the shape is enforced at runtime by
+#: :func:`validate_metrics_doc`, not by the type checker.
+JsonDict: TypeAlias = dict[str, Any]
 
 #: Version tag carried by every exported document.
 SCHEMA_VERSION = "repro.obs/v1"
@@ -37,12 +44,12 @@ class SchemaError(ValueError):
     """An exported document does not match the ``repro.obs/v1`` schema."""
 
 
-def dump_json(payload: dict) -> str:
+def dump_json(payload: JsonDict) -> str:
     """The one serializer behind every ``--json`` flag (stable key order)."""
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
-def metrics_doc(command: str, configs: dict[str, dict], **extra: object) -> dict:
+def metrics_doc(command: str, configs: dict[str, JsonDict], **extra: object) -> JsonDict:
     """Wrap per-config metric sections in the versioned envelope."""
     doc = {"schema": SCHEMA_VERSION, "command": command, "configs": configs}
     doc.update(extra)
@@ -52,7 +59,7 @@ def metrics_doc(command: str, configs: dict[str, dict], **extra: object) -> dict
 # ----------------------------------------------------------------------
 # Validation
 # ----------------------------------------------------------------------
-def validate_snapshot(snapshot: dict, roots: tuple[str, ...] = ROOT_NAMESPACES) -> dict:
+def validate_snapshot(snapshot: JsonDict, roots: tuple[str, ...] = ROOT_NAMESPACES) -> JsonDict:
     """Check a registry snapshot: dotted keys, pinned roots, numeric values."""
     if not isinstance(snapshot, dict):
         raise SchemaError(f"snapshot must be a dict, got {type(snapshot).__name__}")
@@ -66,7 +73,7 @@ def validate_snapshot(snapshot: dict, roots: tuple[str, ...] = ROOT_NAMESPACES) 
     return snapshot
 
 
-def _validate_numeric_tree(node: dict, path: str) -> None:
+def _validate_numeric_tree(node: JsonDict, path: str) -> None:
     for key, value in node.items():
         if not isinstance(key, str):
             raise SchemaError(f"non-string key under {path!r}: {key!r}")
@@ -78,7 +85,7 @@ def _validate_numeric_tree(node: dict, path: str) -> None:
             raise SchemaError(f"value at {here!r} is not numeric: {value!r}")
 
 
-def validate_metrics_doc(doc: dict) -> dict:
+def validate_metrics_doc(doc: JsonDict) -> JsonDict:
     """Validate a full metrics document; returns it unchanged.
 
     Raises :class:`SchemaError` on a wrong/missing schema tag, a malformed

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 from repro.db.database import Database
+from repro.db.records import Row
 
 if TYPE_CHECKING:  # pragma: no cover - annotation only
     from repro.db.records import Schema
@@ -69,7 +70,7 @@ def check_consistency(db: Database, at: float = 0.0) -> ConsistencyReport:
     return report
 
 
-def _district_key(row: tuple, schema: Schema) -> tuple[int, int]:
+def _district_key(row: Row, schema: Schema) -> tuple[int, int]:
     return row[schema.position("d_w_id")], row[schema.position("d_id")]
 
 

@@ -19,6 +19,7 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
 from repro.db.database import Database
+from repro.db.records import Row
 from repro.tpcc.random_gen import TPCCRandom
 from repro.tpcc.schema import ScaleConfig
 
@@ -78,7 +79,7 @@ class TransactionExecutor:
     # ------------------------------------------------------------------
     def _customer_by_id(
         self, w_id: int, d_id: int, c_id: int, at: float
-    ) -> tuple[RID, tuple, float]:
+    ) -> tuple[RID, Row, float]:
         rid, at = self.customer.lookup_rid("C_IDX", (w_id, d_id, c_id), at)
         if rid is None:
             raise LookupError(f"customer ({w_id},{d_id},{c_id}) missing")
@@ -87,7 +88,7 @@ class TransactionExecutor:
 
     def _customer_by_name(
         self, w_id: int, d_id: int, last: str, at: float
-    ) -> tuple[RID | None, tuple | None, float]:
+    ) -> tuple[RID | None, Row | None, float]:
         """Spec 2.5.2.2: all matches sorted by first name, take ceil(n/2)."""
         index = self.customer.index("C_NAME_IDX")
         entries, at = index.btree.range_scan(
@@ -102,7 +103,7 @@ class TransactionExecutor:
 
     def _pick_customer(
         self, w_id: int, d_id: int, at: float
-    ) -> tuple[RID, tuple, float]:
+    ) -> tuple[RID, Row, float]:
         """60% by last name, 40% by NURand id (spec 2.5.1.2)."""
         if self.rng.uniform(1, 100) <= 60:
             last = self.rng.customer_last_name_run(self.scale.customers_per_district)

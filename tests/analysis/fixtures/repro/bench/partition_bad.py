@@ -1,0 +1,27 @@
+"""Bad fixture: shard-worker code touching module-level mutable state."""
+
+
+class ShardCell:
+    def __init__(self, name, fn, args=()):
+        self.name = name
+        self.fn = fn
+        self.args = args
+
+
+CACHE = {}
+TOTALS = []
+
+
+def run_cell(name):
+    CACHE[name] = 1  # write: per-process dict diverges across shards
+    TOTALS.append(name)  # write: mutating method on a module global
+    return summarize()
+
+
+def summarize():
+    # read of runtime-written mutable globals, reachable from the worker
+    return len(CACHE) + len(TOTALS)
+
+
+def build_cells():
+    return [ShardCell("c0", run_cell, ("a",)), ShardCell("c1", fn=run_cell)]

@@ -1,0 +1,39 @@
+"""Good fixture: partition-closed workers.
+
+Workers read only immutable globals and the import-time-populated
+registry (every writer of ``REGISTRY`` is called from module top level
+only), and thread all mutable state through cell args and results.
+"""
+
+
+class ShardCell:
+    def __init__(self, name, fn, args=()):
+        self.name = name
+        self.fn = fn
+        self.args = args
+
+
+REGISTRY = {}
+PAGE_SIZE = 4096  # immutable global: always fine to read
+
+
+def register(name, factory):
+    REGISTRY[name] = factory
+
+
+def lookup(name):
+    return REGISTRY.get(name)
+
+
+register("echo", str)  # import-time registration: the legal idiom
+
+
+def run_cell(name, counts):
+    factory = lookup(name)
+    local = dict(counts)  # worker-local copy, threaded via args
+    local[name] = PAGE_SIZE
+    return factory(local) if factory is not None else None
+
+
+def build_cells():
+    return [ShardCell("c0", run_cell, ("echo", {}))]

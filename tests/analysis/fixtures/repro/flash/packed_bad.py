@@ -1,0 +1,35 @@
+"""Bad fixture: packed commands without the typestate guard / proof.
+
+``Device`` binds both ``faults`` and ``events``, making it device-like:
+every ``*_packed`` method must open with the terminating
+``PackedPathError`` guard, and every call site must prove both observer
+attributes are ``None`` on the path.
+"""
+
+
+class PackedPathError(Exception):
+    pass
+
+
+class Device:
+    def __init__(self) -> None:
+        self.faults = None
+        self.events = None
+
+    def read_packed(self, addr: int) -> int:
+        # missing the leading observer guard: definition-side violation
+        return addr
+
+    def write_packed(self, addr: int) -> int:
+        if self.faults is not None or self.events is not None:
+            raise PackedPathError("observers attached")
+        return addr
+
+
+class Engine:
+    def __init__(self, device: Device) -> None:
+        self.device = device
+
+    def hot_write(self, addr: int) -> int:
+        # no proof that faults/events are detached: call-side violation
+        return self.device.write_packed(addr)

@@ -1,0 +1,38 @@
+"""Good fixture: guarded packed commands, proven-detached call sites."""
+
+
+class PackedPathError(Exception):
+    pass
+
+
+class GoodDevice:
+    def __init__(self) -> None:
+        self.faults = None
+        self.events = None
+
+    def read_packed(self, addr: int) -> int:
+        if self.faults is not None or self.events is not None:
+            raise PackedPathError("observers attached")
+        return addr
+
+    def write_packed(self, addr: int) -> int:
+        """Docstrings before the guard are fine."""
+        if self.faults is not None or self.events is not None:
+            raise PackedPathError("observers attached")
+        return addr
+
+
+class GoodEngine:
+    def __init__(self, device: GoodDevice) -> None:
+        self.device = device
+
+    def hot_read(self, addr: int) -> int:
+        device = self.device
+        if device.faults is None and device.events is None:
+            return device.read_packed(addr)
+        return addr
+
+    def hot_write(self, addr: int) -> int:
+        if self.device.faults is not None or self.device.events is not None:
+            return addr  # observable slow path
+        return self.device.write_packed(addr)

@@ -1,0 +1,15 @@
+"""Bad fixture: RNG constructions that break replayability."""
+
+import random
+import time
+
+SHARED_RNG = random.Random(1234)  # module-level: shared across importers/cells
+
+
+def entropy_seeded() -> random.Random:
+    seed = int(time.time() * 1000)
+    return random.Random(seed)  # seed carries ambient entropy
+
+
+def hash_seeded(name: str) -> random.Random:
+    return random.Random(hash(name))  # PYTHONHASHSEED-dependent seed

@@ -1,0 +1,16 @@
+"""Good fixture: deterministically seeded, per-use RNG construction."""
+
+import random
+
+
+def seeded(seed: int) -> random.Random:
+    return random.Random(seed)
+
+
+def derived(base_seed: int, cell: str) -> random.Random:
+    # string seeds are hashed with SHA-512 internally: process-stable
+    return random.Random(f"{base_seed}:{cell}")
+
+
+def forked(parent: random.Random) -> random.Random:
+    return random.Random(parent.getrandbits(64))

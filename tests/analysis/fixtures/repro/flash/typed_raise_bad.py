@@ -1,0 +1,17 @@
+"""Bad fixture: bare builtin exceptions raised inside a typed-error package."""
+
+
+def check_capacity(capacity: int) -> int:
+    if capacity < 1:
+        raise ValueError("capacity must be positive")
+    return capacity
+
+
+def advance(now: float, to: float) -> float:
+    if to < now:
+        raise RuntimeError("clock went backwards")
+    return to
+
+
+def explode() -> None:
+    raise Exception("something happened")

@@ -1,0 +1,32 @@
+"""Good fixture: typed errors only (subclassing builtins keeps callers working)."""
+
+
+class FixtureError(Exception):
+    """Package-specific error root."""
+
+
+class ConfigError(FixtureError, ValueError):
+    """Invalid configuration value."""
+
+
+class StateError(FixtureError, RuntimeError):
+    """Operation illegal in the current state."""
+
+
+def check_capacity(capacity: int) -> int:
+    if capacity < 1:
+        raise ConfigError("capacity must be positive")
+    return capacity
+
+
+def advance(now: float, to: float) -> float:
+    if to < now:
+        raise StateError("clock went backwards")
+    return to
+
+
+def reraise() -> None:
+    try:
+        check_capacity(0)
+    except ConfigError:
+        raise  # bare re-raise keeps the original type; always fine

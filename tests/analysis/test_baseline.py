@@ -1,0 +1,92 @@
+"""Baseline files: round-trip, count semantics, loud failure on malformed input."""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import apply_baseline, lint_paths, load_baseline, render_baseline
+from repro.analysis.baseline import BASELINE_SCHEMA_VERSION, BaselineError
+
+FIXTURES = Path(__file__).parent / "fixtures"
+BAD = FIXTURES / "repro/flash/typed_raise_bad.py"
+RULE = ["errors.typed-discipline"]
+
+
+def _result():
+    return lint_paths([BAD], rule_ids=RULE)
+
+
+class TestRoundTrip:
+    def test_own_baseline_suppresses_everything(self, tmp_path):
+        result = _result()
+        assert result.exit_code == 1
+        baseline_file = tmp_path / "baseline.json"
+        baseline_file.write_text(render_baseline(result))
+        filtered = apply_baseline(result, load_baseline(baseline_file))
+        assert filtered.violations == []
+        assert filtered.exit_code == 0
+
+    def test_unbaselined_violations_pass_through(self, tmp_path):
+        result = _result()
+        document = json.loads(render_baseline(result))
+        document["entries"] = document["entries"][:1]  # keep one fingerprint
+        baseline_file = tmp_path / "partial.json"
+        baseline_file.write_text(json.dumps(document))
+        filtered = apply_baseline(result, load_baseline(baseline_file))
+        assert len(filtered.violations) == len(result.violations) - 1
+        assert filtered.exit_code == 1
+
+    def test_matching_ignores_line_numbers(self, tmp_path):
+        result = _result()
+        document = json.loads(render_baseline(result))
+        assert all("line" not in entry for entry in document["entries"])
+
+    def test_count_bounds_how_many_matches_absorb(self):
+        result = _result()
+        [violation, *rest] = result.violations
+        duplicated = type(result)(
+            violations=[violation, violation],
+            files_checked=1,
+            rules_run=result.rules_run,
+        )
+        from collections import Counter
+
+        one = Counter({(violation.rule_id, violation.path, violation.message): 1})
+        filtered = apply_baseline(duplicated, one)
+        assert len(filtered.violations) == 1
+
+
+class TestMalformed:
+    def test_schema_version_is_pinned(self):
+        assert BASELINE_SCHEMA_VERSION == "repro.lint-baseline/v1"
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            "not json at all {",
+            json.dumps({"schema": "something-else/v9", "entries": []}),
+            json.dumps({"schema": BASELINE_SCHEMA_VERSION, "entries": "nope"}),
+            json.dumps({"schema": BASELINE_SCHEMA_VERSION, "entries": [{"rule": "r"}]}),
+            json.dumps({
+                "schema": BASELINE_SCHEMA_VERSION,
+                "entries": [{"rule": "r", "path": "p", "message": "m", "count": 0}],
+            }),
+        ],
+        ids=["bad-json", "wrong-schema", "entries-not-list", "missing-keys", "bad-count"],
+    )
+    def test_malformed_baseline_raises(self, tmp_path, payload):
+        path = tmp_path / "baseline.json"
+        path.write_text(payload)
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(BaselineError):
+            load_baseline(tmp_path / "absent.json")
+
+
+class TestRepoBaseline:
+    def test_checked_in_baseline_is_empty(self):
+        baseline = load_baseline(Path(__file__).parents[2] / "lint-baseline.json")
+        assert sum(baseline.values()) == 0

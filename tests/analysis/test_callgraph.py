@@ -1,0 +1,170 @@
+"""Call-graph resolution: functions, methods, aliases, references, reachability."""
+
+from pathlib import Path
+
+from repro.analysis.callgraph import MODULE_BODY, ProjectIndex, module_name_of
+from repro.analysis.core import SourceModule
+
+
+def _module(tmp_path: Path, rel: str, source: str) -> SourceModule:
+    path = tmp_path / rel
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return SourceModule(path, rel, source)
+
+
+def _index(tmp_path: Path, files: dict[str, str]) -> ProjectIndex:
+    return ProjectIndex.build(
+        [_module(tmp_path, rel, src) for rel, src in files.items()]
+    )
+
+
+def _edge_set(index: ProjectIndex, caller: str) -> set[str]:
+    return {e.callee for e in index.calls_from(caller) if e.kind == "call"}
+
+
+class TestModuleNaming:
+    def test_fake_repro_root_maps_to_package_names(self, tmp_path):
+        mod = _module(tmp_path, "repro/flash/dev.py", "x = 1\n")
+        assert module_name_of(mod) == "repro.flash.dev"
+
+    def test_top_level_file_uses_its_stem(self, tmp_path):
+        mod = _module(tmp_path, "scratch.py", "x = 1\n")
+        assert module_name_of(mod) == "scratch"
+
+
+class TestResolution:
+    def test_bare_function_call(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/flash/a.py": "def callee():\n    pass\n\ndef caller():\n    callee()\n",
+        })
+        assert _edge_set(index, "repro.flash.a.caller") == {"repro.flash.a.callee"}
+
+    def test_imported_module_attr_call(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/flash/lib.py": "def helper():\n    pass\n",
+            "repro/flash/use.py": (
+                "from repro.flash import lib\n\ndef go():\n    lib.helper()\n"
+            ),
+        })
+        assert _edge_set(index, "repro.flash.use.go") == {"repro.flash.lib.helper"}
+
+    def test_from_import_alias_call(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/flash/lib.py": "def helper():\n    pass\n",
+            "repro/flash/use.py": (
+                "from repro.flash.lib import helper as h\n\ndef go():\n    h()\n"
+            ),
+        })
+        assert _edge_set(index, "repro.flash.use.go") == {"repro.flash.lib.helper"}
+
+    def test_self_method_call(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/flash/cls.py": (
+                "class Dev:\n"
+                "    def low(self):\n"
+                "        pass\n"
+                "    def high(self):\n"
+                "        self.low()\n"
+            ),
+        })
+        assert _edge_set(index, "repro.flash.cls.Dev.high") == {
+            "repro.flash.cls.Dev.low"
+        }
+
+    def test_method_on_annotated_parameter(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/flash/cls.py": (
+                "class Dev:\n"
+                "    def cmd(self):\n"
+                "        pass\n"
+                "\n"
+                "def drive(dev: Dev):\n"
+                "    dev.cmd()\n"
+            ),
+        })
+        assert _edge_set(index, "repro.flash.cls.drive") == {
+            "repro.flash.cls.Dev.cmd"
+        }
+
+    def test_method_on_constructed_local(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/flash/cls.py": (
+                "class Dev:\n"
+                "    def cmd(self):\n"
+                "        pass\n"
+                "\n"
+                "def drive():\n"
+                "    dev = Dev()\n"
+                "    dev.cmd()\n"
+            ),
+        })
+        assert "repro.flash.cls.Dev.cmd" in _edge_set(index, "repro.flash.cls.drive")
+
+    def test_inherited_method_resolves_through_mro(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/flash/cls.py": (
+                "class Base:\n"
+                "    def cmd(self):\n"
+                "        pass\n"
+                "\n"
+                "class Child(Base):\n"
+                "    pass\n"
+                "\n"
+                "def drive(dev: Child):\n"
+                "    dev.cmd()\n"
+            ),
+        })
+        assert _edge_set(index, "repro.flash.cls.drive") == {
+            "repro.flash.cls.Base.cmd"
+        }
+
+    def test_unresolvable_receiver_contributes_no_edge(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/flash/cls.py": (
+                "def drive(book):\n"
+                "    book[0].cmd()\n"
+            ),
+        })
+        assert _edge_set(index, "repro.flash.cls.drive") == set()
+
+
+class TestReachability:
+    def test_transitive_and_reference_edges(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/bench/run.py": (
+                "def leaf():\n"
+                "    pass\n"
+                "\n"
+                "def middle():\n"
+                "    leaf()\n"
+                "\n"
+                "def entry():\n"
+                "    middle()\n"
+                "\n"
+                "def dispatch(registry):\n"
+                "    registry['x'] = referenced\n"
+                "\n"
+                "def referenced():\n"
+                "    pass\n"
+            ),
+        })
+        reachable = index.reachable_from(["repro.bench.run.entry"])
+        assert "repro.bench.run.middle" in reachable
+        assert "repro.bench.run.leaf" in reachable
+        assert "repro.bench.run.referenced" not in reachable
+        # first-class references count as edges from their holder
+        via_ref = index.reachable_from(["repro.bench.run.dispatch"])
+        assert "repro.bench.run.referenced" in via_ref
+
+    def test_module_body_calls_are_attributed_to_pseudo_caller(self, tmp_path):
+        index = _index(tmp_path, {
+            "repro/bench/reg.py": (
+                "def register():\n"
+                "    pass\n"
+                "\n"
+                "register()\n"
+            ),
+        })
+        callers = {e.caller for e in index.calls_to("repro.bench.reg.register")}
+        assert callers == {f"{MODULE_BODY}.repro.bench.reg"}

@@ -1,0 +1,109 @@
+"""--changed mode: git discovery and the full-analysis/filtered-report contract."""
+
+import subprocess
+
+import pytest
+
+from repro.analysis import LintEngine, changed_python_files, default_registry
+from repro.analysis.changed import ChangedFilesError
+
+
+def _git(tmp_path, *args):
+    subprocess.run(
+        ["git", *args], cwd=tmp_path, check=True, capture_output=True, text=True
+    )
+
+
+@pytest.fixture
+def repo(tmp_path):
+    _git(tmp_path, "init", "-q")
+    _git(tmp_path, "symbolic-ref", "HEAD", "refs/heads/main")
+    _git(tmp_path, "config", "user.email", "t@example.com")
+    _git(tmp_path, "config", "user.name", "t")
+    (tmp_path / "committed.py").write_text("x = 1\n")
+    (tmp_path / "notes.md").write_text("hi\n")
+    _git(tmp_path, "add", ".")
+    _git(tmp_path, "commit", "-q", "-m", "seed")
+    return tmp_path
+
+
+class TestDiscovery:
+    def test_working_tree_changes_staged_unstaged_untracked(self, repo):
+        (repo / "committed.py").write_text("x = 2\n")  # unstaged
+        (repo / "fresh.py").write_text("y = 1\n")  # untracked
+        (repo / "staged.py").write_text("z = 1\n")
+        _git(repo, "add", "staged.py")
+        (repo / "notes.md").write_text("changed but not python\n")
+        assert changed_python_files(cwd=repo) == {
+            "committed.py",
+            "fresh.py",
+            "staged.py",
+        }
+
+    def test_diff_against_base_ref(self, repo):
+        _git(repo, "checkout", "-q", "-b", "feature")
+        (repo / "committed.py").write_text("x = 3\n")
+        _git(repo, "commit", "-q", "-am", "edit")
+        assert changed_python_files("main", cwd=repo) == {"committed.py"}
+        assert changed_python_files(cwd=repo) == set()  # clean working tree
+
+    def test_rename_reports_the_new_path(self, repo):
+        _git(repo, "mv", "committed.py", "renamed.py")
+        assert "renamed.py" in changed_python_files(cwd=repo)
+
+    def test_outside_a_repo_raises_loudly(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("GIT_CEILING_DIRECTORIES", str(tmp_path))
+        lone = tmp_path / "lone"
+        lone.mkdir()
+        with pytest.raises(ChangedFilesError):
+            changed_python_files(cwd=lone)
+
+
+class TestReportFilter:
+    def test_report_only_filters_findings_not_analysis(self, tmp_path):
+        """The changed module's entry point makes an *unchanged* module's
+        write reachable; with only the unchanged file in report_only the
+        finding in the changed file is filtered, and vice versa — but the
+        whole-program analysis always saw both."""
+        shared = tmp_path / "repro" / "bench"
+        shared.mkdir(parents=True)
+        (shared / "state.py").write_text(
+            "CACHE = {}\n\n\ndef poke(name):\n    CACHE[name] = 1\n"
+        )
+        (shared / "cells.py").write_text(
+            "from repro.bench.state import poke\n"
+            "\n"
+            "\n"
+            "class ShardCell:\n"
+            "    def __init__(self, name, fn, args=()):\n"
+            "        self.fn = fn\n"
+            "\n"
+            "\n"
+            "def run_cell(name):\n"
+            "    poke(name)\n"
+            "\n"
+            "\n"
+            "def build():\n"
+            "    return ShardCell('c', run_cell)\n"
+        )
+        engine = LintEngine(default_registry())
+        full = engine.run([tmp_path], ["sharding.partition-closure"])
+        assert [v.path for v in full.violations] == [
+            str(shared / "state.py")
+        ], [v.format() for v in full.violations]
+
+        # filter to the file that *caused* reachability: nothing reported
+        only_cells = engine.run(
+            [tmp_path],
+            ["sharding.partition-closure"],
+            report_only={str(shared / "cells.py")},
+        )
+        assert only_cells.violations == []
+        # filter to the file carrying the finding: still reported, which
+        # proves the unchanged-but-indexed module participated
+        only_state = engine.run(
+            [tmp_path],
+            ["sharding.partition-closure"],
+            report_only={str(shared / "state.py")},
+        )
+        assert len(only_state.violations) == 1

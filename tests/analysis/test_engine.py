@@ -27,11 +27,15 @@ class TestRegistry:
         assert default_registry().ids() == [
             "counters.doc-coverage",
             "counters.int-drift",
+            "determinism.rng-flow",
             "determinism.set-iteration",
             "determinism.unseeded-random",
             "determinism.wallclock",
+            "errors.typed-discipline",
             "guards.optional-hook",
             "hygiene.unused-import",
+            "packed.typestate",
+            "sharding.partition-closure",
         ]
 
     def test_duplicate_rule_id_rejected(self):

@@ -38,6 +38,30 @@ RULE_CASES = [
         1,
     ),
     ("hygiene.unused-import", "hygiene_bad.py", "hygiene_good.py", 2),
+    (
+        "errors.typed-discipline",
+        "repro/flash/typed_raise_bad.py",
+        "repro/flash/typed_raise_good.py",
+        3,
+    ),
+    (
+        "packed.typestate",
+        "repro/flash/packed_bad.py",
+        "repro/flash/packed_good.py",
+        2,
+    ),
+    (
+        "sharding.partition-closure",
+        "repro/bench/partition_bad.py",
+        "repro/bench/partition_good.py",
+        3,
+    ),
+    (
+        "determinism.rng-flow",
+        "repro/flash/rngflow_bad.py",
+        "repro/flash/rngflow_good.py",
+        3,
+    ),
 ]
 
 IDS = [case[0] for case in RULE_CASES]

@@ -1,0 +1,81 @@
+"""SARIF 2.1.0 reporter: schema-pinning for the code-scanning subset.
+
+GitHub code scanning ingests a specific minimal shape; these tests pin
+it so reporter drift fails loudly instead of silently breaking upload.
+"""
+
+import json
+from pathlib import Path
+
+from repro.analysis import default_registry, lint_paths
+from repro.analysis.reporting import SARIF_SCHEMA_URI, SARIF_VERSION, render_sarif
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+def _document(paths, rule_ids=None):
+    registry = default_registry()
+    result = lint_paths(paths, rule_ids)
+    return json.loads(render_sarif(result, registry)), result, registry
+
+
+class TestEnvelope:
+    def test_schema_and_version_are_pinned(self):
+        doc, __, __ = _document([FIXTURES / "repro/flash/typed_raise_good.py"])
+        assert doc["$schema"] == SARIF_SCHEMA_URI
+        assert doc["version"] == SARIF_VERSION == "2.1.0"
+        assert len(doc["runs"]) == 1
+
+    def test_driver_carries_rule_metadata(self):
+        doc, result, registry = _document(
+            [FIXTURES / "repro/flash/typed_raise_good.py"]
+        )
+        driver = doc["runs"][0]["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        ids = [rule["id"] for rule in driver["rules"]]
+        assert ids == list(result.rules_run)
+        for rule in driver["rules"]:
+            assert rule["shortDescription"]["text"] == registry.get(rule["id"]).summary
+
+
+class TestResults:
+    def test_violations_map_to_results_with_locations(self):
+        doc, result, __ = _document(
+            [FIXTURES / "repro/flash/typed_raise_bad.py"],
+            rule_ids=["errors.typed-discipline"],
+        )
+        run = doc["runs"][0]
+        assert len(run["results"]) == len(result.violations) >= 3
+        rule_index = {r["id"]: i for i, r in enumerate(run["tool"]["driver"]["rules"])}
+        for sarif_result, violation in zip(run["results"], result.violations):
+            assert sarif_result["ruleId"] == violation.rule_id
+            assert sarif_result["ruleIndex"] == rule_index[violation.rule_id]
+            assert sarif_result["level"] == "error"
+            assert sarif_result["message"]["text"] == violation.message
+            location = sarif_result["locations"][0]["physicalLocation"]
+            assert location["artifactLocation"]["uri"] == violation.path
+            assert location["artifactLocation"]["uriBaseId"] == "SRCROOT"
+            assert location["region"]["startLine"] == violation.line
+            assert location["region"]["startColumn"] == violation.col
+
+    def test_clean_run_has_empty_results_and_successful_invocation(self):
+        doc, __, __ = _document([FIXTURES / "repro/flash/typed_raise_good.py"])
+        run = doc["runs"][0]
+        assert run["results"] == []
+        assert run["invocations"][0]["executionSuccessful"] is True
+        assert run["invocations"][0]["toolExecutionNotifications"] == []
+
+    def test_parse_errors_become_notifications(self, tmp_path):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n")
+        doc, __, __ = _document([broken])
+        invocation = doc["runs"][0]["invocations"][0]
+        assert invocation["executionSuccessful"] is False
+        assert len(invocation["toolExecutionNotifications"]) == 1
+        assert invocation["toolExecutionNotifications"][0]["level"] == "error"
+
+    def test_output_is_deterministic(self):
+        paths = [FIXTURES / "repro/flash/typed_raise_bad.py"]
+        first, __, __ = _document(paths)
+        second, __, __ = _document(paths)
+        assert first == second
